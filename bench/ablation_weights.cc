@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: sensitivity of MEGsim to the characteristic-group
+ * normalization (DESIGN.md §6).
+ *
+ * Compares the paper's power-derived group weights against uniform
+ * weights, per-column-max normalization, raw features, and a
+ * shaders-only variant (PRIM weight zero), on representative 3D and 2D
+ * benchmarks.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    msim::megsim::NormalizationScheme scheme;
+    msim::megsim::GroupWeights weights;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace msim;
+    using megsim::GroupWeights;
+    using megsim::NormalizationScheme;
+
+    const Variant variants[] = {
+        {"paper weights (.108/.745/.147)",
+         NormalizationScheme::GroupSumWeights, GroupWeights{}},
+        {"uniform groups",
+         NormalizationScheme::GroupSumWeights, GroupWeights::uniform()},
+        {"shaders only (no PRIM)",
+         NormalizationScheme::GroupSumWeights,
+         GroupWeights{0.127, 0.873, 0.0}},
+        {"column-max", NormalizationScheme::ColumnMaxWeights,
+         GroupWeights{}},
+        {"raw (no normalization)", NormalizationScheme::None,
+         GroupWeights{}},
+    };
+
+    std::printf("Ablation: normalization scheme and group weights\n");
+    for (const auto &alias : {std::string("bbr1"), std::string("jjo")}) {
+        bench::LoadedBenchmark b = bench::loadBenchmark(alias);
+        std::printf("\n%s:\n", alias.c_str());
+        std::printf("  %-34s %6s %10s %10s\n", "variant", "reps",
+                    "cyc err%", "dram err%");
+        bench::printRule(66);
+        for (const Variant &v : variants) {
+            megsim::MegsimConfig config = bench::defaultMegsimConfig();
+            config.normalization = v.scheme;
+            config.weights = v.weights;
+            megsim::MegsimPipeline pipeline(*b.data, config);
+            const megsim::MegsimRun run = pipeline.run();
+            std::printf("  %-34s %6zu %9.2f%% %9.2f%%\n", v.name,
+                        run.numRepresentatives(),
+                        pipeline.errorPercent(run,
+                                              gpusim::Metric::Cycles),
+                        pipeline.errorPercent(
+                            run, gpusim::Metric::DramAccesses));
+        }
+    }
+    return 0;
+}

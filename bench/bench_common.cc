@@ -1,0 +1,76 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace msim::bench
+{
+
+gpusim::GpuConfig
+evalConfig()
+{
+    return gpusim::GpuConfig::evaluationScaled();
+}
+
+std::string
+cacheDir()
+{
+    if (const char *env = std::getenv("MEGSIM_CACHE_DIR"))
+        return env;
+    return "out/cache";
+}
+
+std::string
+outDir()
+{
+    if (const char *env = std::getenv("MEGSIM_OUT_DIR"))
+        return env;
+    return "out";
+}
+
+LoadedBenchmark
+loadBenchmark(const std::string &alias)
+{
+    std::size_t frame_limit = 0;
+    if (const char *env = std::getenv("MEGSIM_FRAME_LIMIT"))
+        frame_limit = static_cast<std::size_t>(std::atoll(env));
+    double scale = 1.0;
+    if (const char *env = std::getenv("MEGSIM_SCALE"))
+        scale = std::atof(env);
+
+    LoadedBenchmark b;
+    b.alias = alias;
+    b.spec = workloads::benchmarkSpec(alias);
+    b.scene = workloads::buildBenchmark(alias, scale, frame_limit);
+    b.data = std::make_unique<megsim::BenchmarkData>(
+        b.scene, evalConfig(), cacheDir());
+    return b;
+}
+
+std::vector<LoadedBenchmark>
+loadAllBenchmarks()
+{
+    std::vector<LoadedBenchmark> all;
+    for (const auto &alias : workloads::benchmarkNames())
+        all.push_back(loadBenchmark(alias));
+    return all;
+}
+
+megsim::MegsimConfig
+defaultMegsimConfig()
+{
+    megsim::MegsimConfig config;
+    config.selector.threshold = 0.85;
+    config.selector.kmeans.seed = 0x4d4547; // "MEG"
+    return config;
+}
+
+void
+printRule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace msim::bench

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Fig. 3: correlation between the characterizing input
+ * parameters (VSCV, FSCV, PRIM) and the total number of cycles, per
+ * benchmark. Shader-count groups use the coefficient of multiple
+ * correlation (Eqs. 2-3); PRIM uses Pearson's coefficient (Eq. 1).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace msim;
+
+    std::printf("Fig. 3: Correlation of input parameters with total "
+                "cycles\n");
+    std::printf("%-10s %10s %10s %10s\n", "Benchmark", "VSCV", "FSCV",
+                "PRIM");
+    bench::printRule(44);
+
+    util::CsvTable csv;
+    csv.header = {"vscv", "fscv", "prim"};
+
+    double sums[3] = {};
+    for (const auto &alias : workloads::benchmarkNames()) {
+        bench::LoadedBenchmark b = bench::loadBenchmark(alias);
+        megsim::MegsimPipeline pipeline(*b.data,
+                                        bench::defaultMegsimConfig());
+        const megsim::CorrelationStudy study = megsim::correlationStudy(
+            pipeline.rawFeatures(),
+            b.data->metric(gpusim::Metric::Cycles));
+        std::printf("%-10s %10.3f %10.3f %10.3f\n", alias.c_str(),
+                    study.vscv, study.fscv, study.prim);
+        csv.rows.push_back({study.vscv, study.fscv, study.prim});
+        sums[0] += study.vscv;
+        sums[1] += study.fscv;
+        sums[2] += study.prim;
+    }
+    bench::printRule(44);
+    std::printf("%-10s %10.3f %10.3f %10.3f\n", "Average", sums[0] / 8,
+                sums[1] / 8, sums[2] / 8);
+
+    util::writeCsv(bench::outDir() + "/fig3_correlation.csv", csv);
+    return 0;
+}

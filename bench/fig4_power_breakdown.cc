@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Fig. 4: the fraction of dissipated power in the three
+ * main phases of the graphics pipeline (Geometry, Tiling, Raster).
+ * These fractions motivate the characteristic-group weights MEGsim
+ * uses for normalization (0.108 / 0.147 / 0.745 in the paper).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "gpusim/power.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace msim;
+
+    std::printf("Fig. 4: Fraction of dissipated power per pipeline "
+                "phase\n");
+    std::printf("%-10s %10s %10s %10s\n", "Benchmark", "Geometry",
+                "Tiling", "Raster");
+    bench::printRule(44);
+
+    util::CsvTable csv;
+    csv.header = {"geometry", "tiling", "raster"};
+
+    double sums[3] = {};
+    for (const auto &alias : workloads::benchmarkNames()) {
+        bench::LoadedBenchmark b = bench::loadBenchmark(alias);
+        const gpusim::PowerBreakdown pb =
+            gpusim::powerBreakdown(b.data->frameStats());
+        std::printf("%-10s %9.1f%% %9.1f%% %9.1f%%\n", alias.c_str(),
+                    pb.geometryFraction * 100.0,
+                    pb.tilingFraction * 100.0,
+                    pb.rasterFraction * 100.0);
+        csv.rows.push_back({pb.geometryFraction, pb.tilingFraction,
+                            pb.rasterFraction});
+        sums[0] += pb.geometryFraction;
+        sums[1] += pb.tilingFraction;
+        sums[2] += pb.rasterFraction;
+    }
+    bench::printRule(44);
+    std::printf("%-10s %9.1f%% %9.1f%% %9.1f%%\n", "Average",
+                sums[0] / 8 * 100, sums[1] / 8 * 100,
+                sums[2] / 8 * 100);
+    std::printf("(Paper averages: Geometry 10.8%%, Tiling 14.7%%, "
+                "Raster 74.5%%)\n");
+
+    util::writeCsv(bench::outDir() + "/fig4_power.csv", csv);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates Fig. 7: the relative error of MEGsim's estimates for the
+ * four key performance metrics (total cycles, main-memory accesses,
+ * L2 cache accesses, tile cache accesses), per benchmark and on
+ * average.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace msim;
+    using gpusim::Metric;
+
+    std::printf("Fig. 7: Relative error (%%) of MEGsim estimates\n");
+    std::printf("%-10s %6s %10s %10s %10s %10s\n", "Benchmark", "Reps",
+                "Cycles", "DRAM", "L2", "Tile$");
+    bench::printRule(62);
+
+    util::CsvTable csv;
+    csv.header = {"reps", "cycles_err", "dram_err", "l2_err",
+                  "tile_err"};
+
+    const Metric metrics[4] = {Metric::Cycles, Metric::DramAccesses,
+                               Metric::L2Accesses,
+                               Metric::TileCacheAccesses};
+    double sums[4] = {};
+    double max_err[4] = {};
+    for (const auto &alias : workloads::benchmarkNames()) {
+        bench::LoadedBenchmark b = bench::loadBenchmark(alias);
+        megsim::MegsimPipeline pipeline(*b.data,
+                                        bench::defaultMegsimConfig());
+        const megsim::MegsimRun run = pipeline.run();
+        double err[4];
+        for (int i = 0; i < 4; ++i) {
+            err[i] = pipeline.errorPercent(run, metrics[i]);
+            sums[i] += err[i];
+            max_err[i] = std::max(max_err[i], err[i]);
+        }
+        std::printf("%-10s %6zu %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+                    alias.c_str(), run.numRepresentatives(), err[0],
+                    err[1], err[2], err[3]);
+        csv.rows.push_back({static_cast<double>(
+                                run.numRepresentatives()),
+                            err[0], err[1], err[2], err[3]});
+    }
+    bench::printRule(62);
+    std::printf("%-10s %6s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+                "Average", "", sums[0] / 8, sums[1] / 8, sums[2] / 8,
+                sums[3] / 8);
+    std::printf("%-10s %6s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", "Max",
+                "", max_err[0], max_err[1], max_err[2], max_err[3]);
+    std::printf("(Paper averages: cycles 0.84%%, DRAM 0.99%%, "
+                "L2 1.2%%, Tile$ 0.86%%)\n");
+
+    util::writeCsv(bench::outDir() + "/fig7_accuracy.csv", csv);
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the performance-critical
+ * components: cache lookups, DRAM transactions, rasterization,
+ * frame simulation, k-means and the similarity matrix.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gpusim/functional_simulator.hh"
+#include "gpusim/rasterizer.hh"
+#include "gpusim/timing_simulator.hh"
+#include "core/megsim.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/random.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace msim;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheConfig config;
+    config.sizeBytes = static_cast<std::uint64_t>(state.range(0));
+    mem::Cache cache(config);
+    sim::Rng rng(1);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        const sim::Addr addr = rng.below(4u << 20);
+        sum += cache.access(addr, false).hit;
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(4 << 10)->Arg(32 << 10)->Arg(256 << 10);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    mem::Dram dram((mem::DramConfig()));
+    sim::Rng rng(2);
+    sim::Tick now = 0;
+    for (auto _ : state) {
+        now = dram.access(now, rng.below(1u << 26), false);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_RasterizeTriangle(benchmark::State &state)
+{
+    gpusim::ScreenTriangle tri;
+    tri.v[0] = {0.0f, 0.0f};
+    tri.v[1] = {static_cast<float>(state.range(0)), 0.0f};
+    tri.v[2] = {0.0f, static_cast<float>(state.range(0))};
+    tri.z[0] = tri.z[1] = tri.z[2] = 0.5f;
+    tri.uv[1] = {1, 0};
+    tri.uv[2] = {0, 1};
+    const util::BBox2i bounds{0, 0, 192, 96};
+    std::uint64_t quads = 0;
+    for (auto _ : state) {
+        quads += gpusim::rasterizeTriangleInTile(
+            tri, bounds, [](const gpusim::QuadFragment &) {});
+    }
+    benchmark::DoNotOptimize(quads);
+    state.SetItemsProcessed(quads);
+}
+BENCHMARK(BM_RasterizeTriangle)->Arg(16)->Arg(64)->Arg(96);
+
+void
+BM_FunctionalFrame(benchmark::State &state)
+{
+    const auto scene = workloads::buildBenchmark("hwh", 1.0, 40);
+    gpusim::SceneBinding binding(scene);
+    gpusim::FunctionalSimulator sim(
+        gpusim::GpuConfig::evaluationScaled(), binding);
+    std::size_t f = 20; // a gameplay frame
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.simulate(scene.frames[f]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalFrame)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingFrame(benchmark::State &state)
+{
+    const auto scene = workloads::buildBenchmark("hwh", 1.0, 40);
+    gpusim::SceneBinding binding(scene);
+    gpusim::TimingSimulator sim(gpusim::GpuConfig::evaluationScaled(),
+                                binding);
+    std::size_t f = 20;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.simulate(scene.frames[f]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimingFrame)->Unit(benchmark::kMillisecond);
+
+megsim::FeatureMatrix
+syntheticFeatures(std::size_t n, std::size_t dim)
+{
+    megsim::FeatureMatrix m(n, dim - 1, 0);
+    sim::Rng rng(7);
+    for (std::size_t f = 0; f < n; ++f)
+        for (std::size_t d = 0; d < dim; ++d)
+            m.at(f, d) = rng.uniform() + (f % 8 == d % 8 ? 3.0 : 0.0);
+    return m;
+}
+
+void
+BM_KMeans(benchmark::State &state)
+{
+    const auto m = syntheticFeatures(
+        static_cast<std::size_t>(state.range(0)), 24);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(megsim::kmeans(m, 16));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMeans)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimilarityMatrix(benchmark::State &state)
+{
+    const auto m = syntheticFeatures(
+        static_cast<std::size_t>(state.range(0)), 32);
+    for (auto _ : state) {
+        megsim::SimilarityMatrix sim(m);
+        benchmark::DoNotOptimize(sim.maxDistance());
+    }
+}
+BENCHMARK(BM_SimilarityMatrix)
+    ->Arg(300)
+    ->Arg(900)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BicSearch(benchmark::State &state)
+{
+    const auto m = syntheticFeatures(800, 24);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(megsim::selectClustering(m));
+    }
+}
+BENCHMARK(BM_BicSearch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

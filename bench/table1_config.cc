@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Regenerates Table I: the GPU simulation parameters of the modelled
+ * Arm Mali-450-like TBR architecture, and verifies that the library
+ * defaults match the paper's values.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(const char *what, std::uint64_t have, std::uint64_t want)
+{
+    if (have != want) {
+        std::printf("  MISMATCH %s: %llu != %llu\n", what,
+                    static_cast<unsigned long long>(have),
+                    static_cast<unsigned long long>(want));
+        ++failures;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace msim;
+    const gpusim::GpuConfig c = gpusim::GpuConfig::baseline();
+
+    std::printf("Table I: GPU simulation parameters\n");
+    std::printf("Baseline GPU\n");
+    std::printf("  Frequency            %u MHz\n", c.frequencyMhz);
+    std::printf("  Voltage              %.1f V\n", c.voltage);
+    std::printf("  Technology node      %u nm\n", c.technologyNm);
+    std::printf("  Screen resolution    %ux%u\n", c.screenWidth,
+                c.screenHeight);
+    std::printf("  Tile size            %ux%u pixels\n", c.tileWidth,
+                c.tileHeight);
+    std::printf("Main memory\n");
+    std::printf("  Latency              %llu-%llu cycles\n",
+                static_cast<unsigned long long>(
+                    c.memory.dram.rowHitLatency),
+                static_cast<unsigned long long>(
+                    c.memory.dram.rowMissLatency));
+    std::printf("  Bandwidth            %u B/cycle\n",
+                c.memory.dram.bytesPerCycle);
+    std::printf("  Line size            %u bytes, %u banks\n",
+                c.memory.dram.lineBytes, c.memory.dram.banks);
+    std::printf("Queues\n");
+    std::printf("  Vertex (in & out)    %u entries, %u B/entry\n",
+                c.vertexInQueueEntries, c.vertexQueueEntryBytes);
+    std::printf("  Triangle & tile      %u entries, %u B/entry\n",
+                c.triangleQueueEntries, c.triangleQueueEntryBytes);
+    std::printf("  Fragment             %u entries, %u B/entry\n",
+                c.fragmentQueueEntries, c.fragmentQueueEntryBytes);
+    std::printf("  Color                %u entries, %u B/entry\n",
+                c.colorQueueEntries, c.colorQueueEntryBytes);
+    std::printf("Caches (64 B lines, 2-way)\n");
+    std::printf("  Vertex cache         %llu KiB, %llu cycle(s)\n",
+                static_cast<unsigned long long>(
+                    c.vertexCache.sizeBytes / 1024),
+                static_cast<unsigned long long>(
+                    c.vertexCache.hitLatency));
+    std::printf("  Texture caches (x%u) %llu KiB, %llu cycles\n",
+                c.numTextureCaches,
+                static_cast<unsigned long long>(
+                    c.textureCache.sizeBytes / 1024),
+                static_cast<unsigned long long>(
+                    c.textureCache.hitLatency));
+    std::printf("  Tile cache           %llu KiB, %llu cycles\n",
+                static_cast<unsigned long long>(
+                    c.tileCache.sizeBytes / 1024),
+                static_cast<unsigned long long>(
+                    c.tileCache.hitLatency));
+    std::printf("  L2 cache             %llu KiB, %u banks, "
+                "%llu cycles\n",
+                static_cast<unsigned long long>(
+                    c.memory.l2.sizeBytes / 1024),
+                c.memory.l2.banks,
+                static_cast<unsigned long long>(
+                    c.memory.l2.hitLatency));
+    std::printf("Non-programmable stages\n");
+    std::printf("  Primitive assembly   %u vertex/cycle\n",
+                c.paVerticesPerCycle);
+    std::printf("  Rasterizer           %u attribute/cycle\n",
+                c.rastAttributesPerCycle);
+    std::printf("  Early Z-test         %u in-flight quad-fragments\n",
+                c.earlyZInflightQuads);
+    std::printf("Programmable stages\n");
+    std::printf("  Vertex processors    %u\n", c.numVertexProcessors);
+    std::printf("  Fragment processors  %u\n", c.numFragmentProcessors);
+
+    // Verify against the paper's Table I.
+    check("frequency", c.frequencyMhz, 600);
+    check("screen w", c.screenWidth, 1440);
+    check("screen h", c.screenHeight, 720);
+    check("tile w", c.tileWidth, 32);
+    check("vertex q", c.vertexInQueueEntries, 16);
+    check("triangle q", c.triangleQueueEntries, 16);
+    check("fragment q", c.fragmentQueueEntries, 64);
+    check("color q", c.colorQueueEntries, 64);
+    check("vertex$", c.vertexCache.sizeBytes, 4 * 1024);
+    check("texture$", c.textureCache.sizeBytes, 8 * 1024);
+    check("tile$", c.tileCache.sizeBytes, 32 * 1024);
+    check("l2", c.memory.l2.sizeBytes, 256 * 1024);
+    check("l2 banks", c.memory.l2.banks, 8);
+    check("l2 lat", c.memory.l2.hitLatency, 18);
+    check("dram lo", c.memory.dram.rowHitLatency, 50);
+    check("dram hi", c.memory.dram.rowMissLatency, 100);
+    check("dram bw", c.memory.dram.bytesPerCycle, 4);
+    check("dram banks", c.memory.dram.banks, 8);
+    check("vps", c.numVertexProcessors, 4);
+    check("fps", c.numFragmentProcessors, 4);
+    check("earlyz", c.earlyZInflightQuads, 8);
+
+    if (failures == 0)
+        std::printf("\nAll parameters match the paper's Table I.\n");
+    return failures == 0 ? 0 : 1;
+}

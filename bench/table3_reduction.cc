@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Regenerates Table III: the reduction factor in the number of frames
+ * MEGsim has to simulate for each benchmark.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace msim;
+
+    std::printf("Table III: Reduction factor in the number of frames\n");
+    std::printf("%-10s %14s %14s %18s\n", "Benchmark", "Actual frames",
+                "MEGsim frames", "Reduction factor");
+    bench::printRule(60);
+
+    double total_frames = 0.0;
+    double total_reps = 0.0;
+    for (const auto &alias : workloads::benchmarkNames()) {
+        bench::LoadedBenchmark b = bench::loadBenchmark(alias);
+        megsim::MegsimPipeline pipeline(*b.data,
+                                        bench::defaultMegsimConfig());
+        const megsim::MegsimRun run = pipeline.run();
+        total_frames += static_cast<double>(run.numFrames);
+        total_reps += static_cast<double>(run.numRepresentatives());
+        std::printf("%-10s %14zu %14zu %17.0fx\n", alias.c_str(),
+                    run.numFrames, run.numRepresentatives(),
+                    run.reductionFactor());
+    }
+    bench::printRule(60);
+    std::printf("%-10s %14.0f %14.1f %17.0fx\n", "Average",
+                total_frames / 8.0, total_reps / 8.0,
+                total_frames / total_reps);
+    return 0;
+}

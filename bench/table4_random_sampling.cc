@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Regenerates Table IV: frames needed by MEGsim versus random
+ * sub-sampling to reach the same accuracy.
+ *
+ * MEGsim is repeated with different k-means initializations and its
+ * maximum relative error for total cycles is taken at 95 %
+ * confidence; random sub-sampling (1000 trials per sample count) is
+ * then grown until it matches that error. The paper uses 100 MEGsim
+ * repetitions and 1000 random trials; MEGSIM_REPS/MEGSIM_TRIALS
+ * override for quick runs.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.hh"
+#include "util/csv.hh"
+#include "util/summary.hh"
+
+int
+main()
+{
+    using namespace msim;
+
+    // The paper repeats MEGsim 100 times; 15 keeps the default run of
+    // this binary to minutes on one core with a similar 95th
+    // percentile. Set MEGSIM_REPS=100 to match the paper exactly.
+    std::size_t megsim_reps = 15;
+    if (const char *env = std::getenv("MEGSIM_REPS"))
+        megsim_reps = static_cast<std::size_t>(std::atoll(env));
+    megsim::RandomSamplingConfig rs_config;
+    if (const char *env = std::getenv("MEGSIM_TRIALS"))
+        rs_config.trials = static_cast<std::size_t>(std::atoll(env));
+
+    std::printf("Table IV: Frames for equal accuracy, MEGsim vs random "
+                "sub-sampling\n");
+    std::printf("(%zu MEGsim repetitions, %zu random trials, 95%% "
+                "confidence)\n",
+                megsim_reps, rs_config.trials);
+    std::printf("%-10s %12s %10s %14s %12s\n", "Benchmark", "Max err %",
+                "MEGsim", "Random frames", "Reduction");
+    bench::printRule(64);
+
+    util::CsvTable csv;
+    csv.header = {"max_err", "megsim_frames", "random_frames",
+                  "reduction"};
+
+    double sum_err = 0.0, sum_megsim = 0.0, sum_random = 0.0;
+    for (const auto &alias : workloads::benchmarkNames()) {
+        bench::LoadedBenchmark b = bench::loadBenchmark(alias);
+        megsim::MegsimPipeline pipeline(*b.data,
+                                        bench::defaultMegsimConfig());
+        const std::vector<double> cycles =
+            b.data->metric(gpusim::Metric::Cycles);
+
+        // MEGsim error distribution over k-means initializations.
+        std::vector<double> errors;
+        std::vector<double> rep_counts;
+        for (std::size_t r = 0; r < megsim_reps; ++r) {
+            const megsim::MegsimRun run =
+                pipeline.run(0xC0FFEE + r * 7919);
+            errors.push_back(
+                pipeline.errorPercent(run, gpusim::Metric::Cycles));
+            rep_counts.push_back(
+                static_cast<double>(run.numRepresentatives()));
+        }
+        const double max_err = util::percentile(
+            errors, rs_config.confidencePercent);
+        const double megsim_frames = util::mean(rep_counts);
+
+        const std::size_t random_frames =
+            megsim::findMatchingSampleCount(cycles, max_err,
+                                            rs_config);
+        const double reduction =
+            static_cast<double>(random_frames) / megsim_frames;
+
+        std::printf("%-10s %12.2f %10.1f %14zu %11.1fx\n",
+                    alias.c_str(), max_err, megsim_frames,
+                    random_frames, reduction);
+        csv.rows.push_back({max_err, megsim_frames,
+                            static_cast<double>(random_frames),
+                            reduction});
+        sum_err += max_err;
+        sum_megsim += megsim_frames;
+        sum_random += static_cast<double>(random_frames);
+    }
+    bench::printRule(64);
+    std::printf("%-10s %12.2f %10.1f %14.1f %11.1fx\n", "Average",
+                sum_err / 8, sum_megsim / 8, sum_random / 8,
+                sum_random / sum_megsim);
+    std::printf("(Paper average: 1.43%% err, 32.8 vs 1686.3 frames, "
+                "58.5x)\n");
+
+    util::writeCsv(bench::outDir() + "/table4_random_sampling.csv",
+                   csv);
+    return 0;
+}
