@@ -2,9 +2,55 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "obs/profile.hh"
+#include "sim/logging.hh"
 
 namespace msim::bench
 {
+
+namespace
+{
+
+/**
+ * Resolve a directory from @p env (fallback @p fallback), create it
+ * if missing, and log the resolved path once — bench runs always say
+ * where their artifacts went.
+ */
+std::string
+resolveDir(const char *env, const char *fallback)
+{
+    std::string dir = fallback;
+    if (const char *value = std::getenv(env))
+        dir = value;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        sim::warn("cannot create %s '%s': %s", env, dir.c_str(),
+                  ec.message().c_str());
+    sim::informOnce(env, "%s = %s", env, dir.c_str());
+    return dir;
+}
+
+/** Prints the per-phase wall-clock summary when the bench exits. */
+struct PhaseReportAtExit
+{
+    PhaseReportAtExit()
+    {
+        // Construct the global profiler before registering the exit
+        // hook so it is destroyed after the hook has run.
+        obs::PhaseProfiler::global();
+        std::atexit([] {
+            obs::PhaseProfiler &profiler = obs::PhaseProfiler::global();
+            if (!profiler.empty())
+                profiler.report(std::cerr);
+        });
+    }
+};
+
+} // namespace
 
 gpusim::GpuConfig
 evalConfig()
@@ -15,22 +61,23 @@ evalConfig()
 std::string
 cacheDir()
 {
-    if (const char *env = std::getenv("MEGSIM_CACHE_DIR"))
-        return env;
-    return "out/cache";
+    static const std::string dir =
+        resolveDir("MEGSIM_CACHE_DIR", "out/cache");
+    return dir;
 }
 
 std::string
 outDir()
 {
-    if (const char *env = std::getenv("MEGSIM_OUT_DIR"))
-        return env;
-    return "out";
+    static const std::string dir = resolveDir("MEGSIM_OUT_DIR", "out");
+    return dir;
 }
 
 LoadedBenchmark
 loadBenchmark(const std::string &alias)
 {
+    static PhaseReportAtExit reportAtExit;
+
     std::size_t frame_limit = 0;
     if (const char *env = std::getenv("MEGSIM_FRAME_LIMIT"))
         frame_limit = static_cast<std::size_t>(std::atoll(env));

@@ -1,0 +1,256 @@
+#include "core/megsim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/random.hh"
+
+namespace msim::megsim
+{
+
+namespace
+{
+
+double
+sqDist(const FeatureMatrix &m, std::size_t frame,
+       const std::vector<double> &centroids, std::size_t cluster,
+       std::size_t dims)
+{
+    double d2 = 0.0;
+    for (std::size_t c = 0; c < dims; ++c) {
+        const double diff =
+            m.at(frame, c) - centroids[cluster * dims + c];
+        d2 += diff * diff;
+    }
+    return d2;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const FeatureMatrix &features, std::size_t k,
+       const KMeansConfig &config)
+{
+    const std::size_t n = features.rows();
+    const std::size_t dims = features.cols();
+    k = std::max<std::size_t>(1, std::min(k, n));
+
+    KMeansResult result;
+    result.k = k;
+    result.dims = dims;
+    result.labels.assign(n, 0);
+    result.sizes.assign(k, 0);
+    result.centroids.assign(k * dims, 0.0);
+    if (n == 0)
+        return result;
+
+    // k-means++ seeding.
+    sim::Rng rng(config.seed);
+    std::vector<double> minD2(n, std::numeric_limits<double>::max());
+    std::size_t first = rng.below(n);
+    for (std::size_t c = 0; c < dims; ++c)
+        result.centroids[c] = features.at(first, c);
+    for (std::size_t cl = 1; cl < k; ++cl) {
+        double total = 0.0;
+        for (std::size_t f = 0; f < n; ++f) {
+            const double d2 = sqDist(features, f, result.centroids,
+                                     cl - 1, dims);
+            minD2[f] = std::min(minD2[f], d2);
+            total += minD2[f];
+        }
+        std::size_t pick = 0;
+        if (total > 0.0) {
+            double target = rng.uniform() * total;
+            for (std::size_t f = 0; f < n; ++f) {
+                target -= minD2[f];
+                if (target <= 0.0) {
+                    pick = f;
+                    break;
+                }
+            }
+        } else {
+            pick = rng.below(n);
+        }
+        for (std::size_t c = 0; c < dims; ++c)
+            result.centroids[cl * dims + c] = features.at(pick, c);
+    }
+
+    // Lloyd iterations.
+    for (std::size_t iter = 0; iter < config.maxIterations; ++iter) {
+        bool changed = iter == 0;
+        for (std::size_t f = 0; f < n; ++f) {
+            std::size_t best = 0;
+            double bestD2 = std::numeric_limits<double>::max();
+            for (std::size_t cl = 0; cl < k; ++cl) {
+                const double d2 =
+                    sqDist(features, f, result.centroids, cl, dims);
+                if (d2 < bestD2) {
+                    bestD2 = d2;
+                    best = cl;
+                }
+            }
+            if (result.labels[f] != best) {
+                result.labels[f] = best;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+
+        std::fill(result.centroids.begin(), result.centroids.end(),
+                  0.0);
+        std::fill(result.sizes.begin(), result.sizes.end(), 0);
+        for (std::size_t f = 0; f < n; ++f) {
+            const std::size_t cl = result.labels[f];
+            ++result.sizes[cl];
+            for (std::size_t c = 0; c < dims; ++c)
+                result.centroids[cl * dims + c] += features.at(f, c);
+        }
+        for (std::size_t cl = 0; cl < k; ++cl) {
+            if (result.sizes[cl] == 0) {
+                // Re-seed an emptied cluster on a random frame.
+                const std::size_t f = rng.below(n);
+                for (std::size_t c = 0; c < dims; ++c)
+                    result.centroids[cl * dims + c] =
+                        features.at(f, c);
+                continue;
+            }
+            const double inv =
+                1.0 / static_cast<double>(result.sizes[cl]);
+            for (std::size_t c = 0; c < dims; ++c)
+                result.centroids[cl * dims + c] *= inv;
+        }
+    }
+
+    // Final bookkeeping: sizes and inertia for the final labels.
+    std::fill(result.sizes.begin(), result.sizes.end(), 0);
+    result.inertia = 0.0;
+    for (std::size_t f = 0; f < n; ++f) {
+        ++result.sizes[result.labels[f]];
+        result.inertia +=
+            sqDist(features, f, result.centroids, result.labels[f],
+                   dims);
+    }
+    return result;
+}
+
+double
+bicScore(const FeatureMatrix &features, const KMeansResult &clustering)
+{
+    // x-means style BIC under identical spherical Gaussians: data
+    // log-likelihood minus (parameters / 2) * log n.
+    const double n = static_cast<double>(features.rows());
+    const double d = static_cast<double>(features.cols());
+    const double k = static_cast<double>(clustering.k);
+    if (features.rows() == 0)
+        return 0.0;
+
+    const double denom =
+        d * std::max(1.0, n - k);
+    double variance = clustering.inertia / denom;
+    variance = std::max(variance, 1e-12);
+
+    double ll = 0.0;
+    for (std::size_t cl = 0; cl < clustering.k; ++cl) {
+        const double ni =
+            static_cast<double>(clustering.sizes[cl]);
+        if (ni <= 0.0)
+            continue;
+        ll += ni * std::log(ni) - ni * std::log(n) -
+              ni * d / 2.0 *
+                  std::log(2.0 * 3.141592653589793 * variance) -
+              (ni - 1.0) * d / 2.0;
+    }
+    const double params = k * (d + 1.0);
+    return ll - params / 2.0 * std::log(n);
+}
+
+SelectionResult
+selectClustering(const FeatureMatrix &features,
+                 const SelectorConfig &config)
+{
+    SelectionResult sel;
+    const std::size_t maxK = std::min(
+        std::max<std::size_t>(1, config.maxClusters),
+        std::max<std::size_t>(1, features.rows()));
+
+    double bestBic = -std::numeric_limits<double>::max();
+    std::size_t decreases = 0;
+    for (std::size_t k = 1; k <= maxK; ++k) {
+        // Best-of-restarts guards the BIC curve against one unlucky
+        // k-means++ draw ending the search prematurely.
+        SelectionStep step;
+        step.bic = -std::numeric_limits<double>::max();
+        const std::size_t restarts =
+            std::max<std::size_t>(1, config.restarts);
+        for (std::size_t r = 0; r < restarts; ++r) {
+            KMeansConfig kc = config.kmeans;
+            kc.seed = sim::hashMix(config.kmeans.seed, k, r);
+            KMeansResult attempt = kmeans(features, k, kc);
+            const double bic = bicScore(features, attempt);
+            if (bic > step.bic) {
+                step.bic = bic;
+                step.result = std::move(attempt);
+            }
+        }
+        sel.trace.push_back(std::move(step));
+
+        if (sel.trace.back().bic > bestBic) {
+            bestBic = sel.trace.back().bic;
+            decreases = 0;
+        } else {
+            ++decreases;
+            if (decreases > config.patience)
+                break;
+        }
+    }
+
+    // The spread threshold T picks the smallest k whose BIC clears
+    // min + T * (max - min) of the explored range (Sec. III-F).
+    double minBic = sel.trace.front().bic;
+    double maxBic = sel.trace.front().bic;
+    for (const SelectionStep &step : sel.trace) {
+        minBic = std::min(minBic, step.bic);
+        maxBic = std::max(maxBic, step.bic);
+    }
+    const double cut = minBic + config.threshold * (maxBic - minBic);
+    sel.chosenIndex = sel.trace.size() - 1;
+    for (std::size_t i = 0; i < sel.trace.size(); ++i) {
+        if (sel.trace[i].bic >= cut) {
+            sel.chosenIndex = i;
+            break;
+        }
+    }
+    return sel;
+}
+
+RepresentativeSet
+representativeSet(const FeatureMatrix &features,
+                  const KMeansResult &clustering)
+{
+    RepresentativeSet reps;
+    const std::size_t dims = features.cols();
+    for (std::size_t cl = 0; cl < clustering.k; ++cl) {
+        std::size_t best = static_cast<std::size_t>(-1);
+        double bestD2 = std::numeric_limits<double>::max();
+        for (std::size_t f = 0; f < features.rows(); ++f) {
+            if (clustering.labels[f] != cl)
+                continue;
+            const double d2 =
+                sqDist(features, f, clustering.centroids, cl, dims);
+            if (d2 < bestD2) {
+                bestD2 = d2;
+                best = f;
+            }
+        }
+        if (best == static_cast<std::size_t>(-1))
+            continue; // empty cluster
+        reps.frames.push_back(best);
+        reps.weights.push_back(
+            static_cast<double>(clustering.sizes[cl]));
+    }
+    return reps;
+}
+
+} // namespace msim::megsim

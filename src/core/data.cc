@@ -1,0 +1,204 @@
+#include "core/megsim.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gpusim/scene_binding.hh"
+#include "gpusim/timing_simulator.hh"
+#include "obs/profile.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "util/csv.hh"
+
+namespace msim::megsim
+{
+
+BenchmarkData::BenchmarkData(const gfx::SceneTrace &scene,
+                             const gpusim::GpuConfig &config,
+                             std::string cacheDirectory)
+    : scene_(&scene), config_(config),
+      cacheDir_(std::move(cacheDirectory)),
+      key_(sim::hashMix(scene.contentHash(), config.fingerprint()))
+{}
+
+std::string
+BenchmarkData::cachePath(const char *kind) const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "/%s_%zu_v3_%016llx_%s.csv",
+                  scene_->name.empty() ? "scene"
+                                       : scene_->name.c_str(),
+                  scene_->numFrames(),
+                  static_cast<unsigned long long>(key_), kind);
+    return cacheDir_ + buf;
+}
+
+bool
+BenchmarkData::loadActivityCache()
+{
+    util::CsvTable table;
+    if (!util::readCsv(cachePath("activity"), table))
+        return false;
+    const std::size_t vs = scene_->numVertexShaders();
+    const std::size_t fs = scene_->numFragmentShaders();
+    if (table.header.size() != 4 + vs + fs ||
+        table.rows.size() != scene_->numFrames())
+        return false;
+
+    activities_.clear();
+    activities_.reserve(table.rows.size());
+    for (const std::vector<double> &row : table.rows) {
+        gpusim::FrameActivity act;
+        act.frameIndex = static_cast<std::uint32_t>(row[0]);
+        act.primitives = static_cast<std::uint64_t>(row[1]);
+        act.verticesShaded = static_cast<std::uint64_t>(row[2]);
+        act.fragmentsShaded = static_cast<std::uint64_t>(row[3]);
+        for (std::size_t c = 0; c < vs; ++c)
+            act.vsCounts.push_back(
+                static_cast<std::uint64_t>(row[4 + c]));
+        for (std::size_t c = 0; c < fs; ++c)
+            act.fsCounts.push_back(
+                static_cast<std::uint64_t>(row[4 + vs + c]));
+        activities_.push_back(std::move(act));
+    }
+    return true;
+}
+
+void
+BenchmarkData::storeActivityCache() const
+{
+    util::CsvTable table;
+    table.header = {"frame", "primitives", "vertices", "fragments"};
+    for (std::size_t c = 0; c < scene_->numVertexShaders(); ++c)
+        table.header.push_back("vs" + std::to_string(c));
+    for (std::size_t c = 0; c < scene_->numFragmentShaders(); ++c)
+        table.header.push_back("fs" + std::to_string(c));
+    for (const gpusim::FrameActivity &act : activities_) {
+        std::vector<double> row = {
+            static_cast<double>(act.frameIndex),
+            static_cast<double>(act.primitives),
+            static_cast<double>(act.verticesShaded),
+            static_cast<double>(act.fragmentsShaded),
+        };
+        for (std::uint64_t v : act.vsCounts)
+            row.push_back(static_cast<double>(v));
+        for (std::uint64_t v : act.fsCounts)
+            row.push_back(static_cast<double>(v));
+        table.rows.push_back(std::move(row));
+    }
+    util::writeCsv(cachePath("activity"), table);
+}
+
+bool
+BenchmarkData::loadStatsCache()
+{
+    util::CsvTable table;
+    if (!util::readCsv(cachePath("stats"), table))
+        return false;
+    if (table.header != gpusim::FrameStats::csvHeader() ||
+        table.rows.size() != scene_->numFrames())
+        return false;
+    stats_.clear();
+    stats_.reserve(table.rows.size());
+    for (const std::vector<double> &row : table.rows)
+        stats_.push_back(gpusim::FrameStats::fromCsvRow(row));
+    return true;
+}
+
+void
+BenchmarkData::storeStatsCache() const
+{
+    util::CsvTable table;
+    table.header = gpusim::FrameStats::csvHeader();
+    for (const gpusim::FrameStats &s : stats_)
+        table.rows.push_back(s.toCsvRow());
+    util::writeCsv(cachePath("stats"), table);
+}
+
+const std::vector<gpusim::FrameActivity> &
+BenchmarkData::activities()
+{
+    if (haveActivities_)
+        return activities_;
+    if (!cacheDir_.empty() && loadActivityCache()) {
+        haveActivities_ = true;
+        return activities_;
+    }
+
+    obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
+                                     "functional");
+    gpusim::SceneBinding binding(*scene_);
+    gpusim::FunctionalSimulator functional(config_, binding);
+    activities_.clear();
+    activities_.reserve(scene_->numFrames());
+    obs::Heartbeat heartbeat(scene_->numFrames(),
+                             "functional " + scene_->name);
+    for (const gfx::FrameTrace &frame : scene_->frames) {
+        activities_.push_back(functional.simulate(frame));
+        heartbeat.tick(activities_.size());
+    }
+    heartbeat.finish();
+    haveActivities_ = true;
+    if (!cacheDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir_, ec);
+        storeActivityCache();
+    }
+    return activities_;
+}
+
+const std::vector<gpusim::FrameStats> &
+BenchmarkData::frameStats()
+{
+    if (haveStats_)
+        return stats_;
+    if (!cacheDir_.empty() && loadStatsCache()) {
+        haveStats_ = true;
+        return stats_;
+    }
+
+    // The expensive pass: cycle-level simulation of every frame. The
+    // functional activities fall out of the same pass for free.
+    obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
+                                     "ground-truth");
+    gpusim::SceneBinding binding(*scene_);
+    gpusim::TimingSimulator timing(config_, binding);
+    stats_.clear();
+    stats_.reserve(scene_->numFrames());
+    std::vector<gpusim::FrameActivity> acts;
+    acts.reserve(scene_->numFrames());
+    obs::Heartbeat heartbeat(scene_->numFrames(),
+                             "ground truth " + scene_->name);
+    for (const gfx::FrameTrace &frame : scene_->frames) {
+        gpusim::FrameActivity act;
+        stats_.push_back(timing.simulate(frame, &act));
+        acts.push_back(std::move(act));
+        heartbeat.tick(stats_.size());
+    }
+    heartbeat.finish();
+    haveStats_ = true;
+    if (!haveActivities_) {
+        activities_ = std::move(acts);
+        haveActivities_ = true;
+    }
+    if (!cacheDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir_, ec);
+        storeStatsCache();
+        storeActivityCache();
+    }
+    return stats_;
+}
+
+std::vector<double>
+BenchmarkData::metric(gpusim::Metric metric)
+{
+    const std::vector<gpusim::FrameStats> &all = frameStats();
+    std::vector<double> values;
+    values.reserve(all.size());
+    for (const gpusim::FrameStats &s : all)
+        values.push_back(gpusim::metricValue(s, metric));
+    return values;
+}
+
+} // namespace msim::megsim

@@ -1,0 +1,349 @@
+#include "core/megsim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace msim::megsim
+{
+
+FeatureMatrix
+buildFeatureMatrix(const std::vector<gpusim::FrameActivity> &activities,
+                   const gfx::SceneTrace &scene)
+{
+    const std::vector<std::uint32_t> vsIds =
+        scene.shaderIdsOf(gfx::ShaderKind::Vertex);
+    const std::vector<std::uint32_t> fsIds =
+        scene.shaderIdsOf(gfx::ShaderKind::Fragment);
+
+    FeatureMatrix m(activities.size(), vsIds.size(), fsIds.size());
+    for (std::size_t f = 0; f < activities.size(); ++f) {
+        const gpusim::FrameActivity &act = activities[f];
+        for (std::size_t c = 0; c < vsIds.size(); ++c) {
+            const double count =
+                c < act.vsCounts.size()
+                    ? static_cast<double>(act.vsCounts[c])
+                    : 0.0;
+            m.at(f, c) =
+                count * scene.shaders[vsIds[c]].characteristicCost();
+        }
+        for (std::size_t c = 0; c < fsIds.size(); ++c) {
+            const double count =
+                c < act.fsCounts.size()
+                    ? static_cast<double>(act.fsCounts[c])
+                    : 0.0;
+            m.at(f, vsIds.size() + c) =
+                count * scene.shaders[fsIds[c]].characteristicCost();
+        }
+        m.at(f, vsIds.size() + fsIds.size()) =
+            static_cast<double>(act.primitives);
+    }
+    return m;
+}
+
+namespace
+{
+
+struct Group
+{
+    std::size_t begin;
+    std::size_t end;
+    double weight;
+};
+
+std::vector<Group>
+groupsOf(const FeatureMatrix &m, const GroupWeights &w)
+{
+    const std::size_t vs = m.vsDims();
+    const std::size_t fs = m.fsDims();
+    return {
+        {0, vs, w.vs},
+        {vs, vs + fs, w.fs},
+        {vs + fs, m.cols(), w.prim},
+    };
+}
+
+} // namespace
+
+void
+normalize(FeatureMatrix &features, NormalizationScheme scheme,
+          const GroupWeights &weights)
+{
+    if (scheme == NormalizationScheme::None || features.rows() == 0)
+        return;
+
+    if (scheme == NormalizationScheme::GroupSumWeights) {
+        // Scale each group so its mean per-frame sum equals the group
+        // weight: the relative frame-to-frame magnitudes survive, but
+        // the groups contribute to distances in the power-derived
+        // proportions.
+        for (const Group &g : groupsOf(features, weights)) {
+            double total = 0.0;
+            for (std::size_t f = 0; f < features.rows(); ++f)
+                for (std::size_t d = g.begin; d < g.end; ++d)
+                    total += features.at(f, d);
+            if (total <= 0.0)
+                continue;
+            const double scale =
+                g.weight * static_cast<double>(features.rows()) /
+                total;
+            for (std::size_t f = 0; f < features.rows(); ++f)
+                for (std::size_t d = g.begin; d < g.end; ++d)
+                    features.at(f, d) *= scale;
+        }
+        return;
+    }
+
+    // ColumnMaxWeights: classic per-column max normalization, then the
+    // group weight.
+    for (const Group &g : groupsOf(features, weights)) {
+        for (std::size_t d = g.begin; d < g.end; ++d) {
+            double maxv = 0.0;
+            for (std::size_t f = 0; f < features.rows(); ++f)
+                maxv = std::max(maxv, features.at(f, d));
+            if (maxv <= 0.0)
+                continue;
+            const double scale = g.weight / maxv;
+            for (std::size_t f = 0; f < features.rows(); ++f)
+                features.at(f, d) *= scale;
+        }
+    }
+}
+
+FeatureMatrix
+randomProject(const FeatureMatrix &features, std::size_t dims,
+              std::uint64_t seed)
+{
+    if (features.cols() <= dims)
+        return features;
+
+    // Fixed-seed Gaussian projection matrix, cols x dims.
+    sim::Rng rng(seed);
+    const std::size_t in = features.cols();
+    std::vector<double> proj(in * dims);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(dims));
+    for (double &v : proj)
+        v = rng.gaussian() * scale;
+
+    FeatureMatrix out(features.rows(),
+                      dims > 0 ? dims - 1 : 0, 0);
+    for (std::size_t f = 0; f < features.rows(); ++f) {
+        for (std::size_t d = 0; d < dims; ++d) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c < in; ++c)
+                acc += features.at(f, c) * proj[c * dims + d];
+            out.at(f, d) = acc;
+        }
+    }
+    return out;
+}
+
+SimilarityMatrix::SimilarityMatrix(const FeatureMatrix &features)
+    : n_(features.rows()), dist_(n_ * n_, 0.0)
+{
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < n_; ++a) {
+        for (std::size_t b = a + 1; b < n_; ++b) {
+            double d2 = 0.0;
+            for (std::size_t c = 0; c < features.cols(); ++c) {
+                const double diff =
+                    features.at(a, c) - features.at(b, c);
+                d2 += diff * diff;
+            }
+            const double d = std::sqrt(d2);
+            dist_[a * n_ + b] = d;
+            dist_[b * n_ + a] = d;
+            max_ = std::max(max_, d);
+            sum += d;
+            ++pairs;
+        }
+    }
+    mean_ = pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+util::GrayImage
+SimilarityMatrix::toImage(int size) const
+{
+    if (n_ == 0)
+        return util::GrayImage(1, 1);
+    size = std::max(1, std::min(size, static_cast<int>(n_)));
+    util::GrayImage img(size, size);
+    const double step = static_cast<double>(n_) / size;
+    const double norm = max_ > 0.0 ? 255.0 / max_ : 0.0;
+    for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+            const auto fa = static_cast<std::size_t>(y * step);
+            const auto fb = static_cast<std::size_t>(x * step);
+            // Darker = more similar.
+            img.at(x, y) = static_cast<std::uint8_t>(
+                at(fa, fb) * norm);
+        }
+    }
+    return img;
+}
+
+void
+SimilarityMatrix::writePgm(const std::string &path, int size) const
+{
+    toImage(size).writePgm(path);
+}
+
+namespace
+{
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+/**
+ * Coefficient of multiple correlation of @p metric on the feature
+ * columns [begin, end): R = sqrt(1 - SSres/SStot) from a ridge-
+ * regularized least-squares fit (the tiny Tikhonov term keeps the
+ * normal equations solvable when shader columns are collinear, which
+ * they routinely are for scripted workloads).
+ */
+double
+multipleCorrelation(const FeatureMatrix &m, std::size_t begin,
+                    std::size_t end, const std::vector<double> &y)
+{
+    const std::size_t n = m.rows();
+    const std::size_t p = end - begin;
+    if (n < 2 || p == 0)
+        return 0.0;
+
+    // Center everything; the intercept drops out.
+    std::vector<double> ymean(1, 0.0);
+    double my = 0.0;
+    for (double v : y)
+        my += v;
+    my /= static_cast<double>(n);
+
+    std::vector<double> xmean(p, 0.0);
+    for (std::size_t j = 0; j < p; ++j) {
+        for (std::size_t i = 0; i < n; ++i)
+            xmean[j] += m.at(i, begin + j);
+        xmean[j] /= static_cast<double>(n);
+    }
+
+    // Normal equations A beta = b with A = X'X + lambda I.
+    std::vector<double> a(p * p, 0.0);
+    std::vector<double> b(p, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+            const double xj = m.at(i, begin + j) - xmean[j];
+            b[j] += xj * (y[i] - my);
+            for (std::size_t k = j; k < p; ++k)
+                a[j * p + k] +=
+                    xj * (m.at(i, begin + k) - xmean[k]);
+        }
+    }
+    double trace = 0.0;
+    for (std::size_t j = 0; j < p; ++j)
+        trace += a[j * p + j];
+    const double lambda =
+        1e-8 * (trace > 0.0 ? trace / static_cast<double>(p) : 1.0);
+    for (std::size_t j = 0; j < p; ++j) {
+        a[j * p + j] += lambda;
+        for (std::size_t k = 0; k < j; ++k)
+            a[j * p + k] = a[k * p + j];
+    }
+
+    // Gaussian elimination with partial pivoting.
+    std::vector<double> beta(b);
+    for (std::size_t col = 0; col < p; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < p; ++r)
+            if (std::fabs(a[r * p + col]) >
+                std::fabs(a[pivot * p + col]))
+                pivot = r;
+        if (std::fabs(a[pivot * p + col]) < 1e-30)
+            continue;
+        if (pivot != col) {
+            for (std::size_t c = 0; c < p; ++c)
+                std::swap(a[col * p + c], a[pivot * p + c]);
+            std::swap(beta[col], beta[pivot]);
+        }
+        for (std::size_t r = col + 1; r < p; ++r) {
+            const double factor =
+                a[r * p + col] / a[col * p + col];
+            for (std::size_t c = col; c < p; ++c)
+                a[r * p + c] -= factor * a[col * p + c];
+            beta[r] -= factor * beta[col];
+        }
+    }
+    for (std::size_t col = p; col-- > 0;) {
+        if (std::fabs(a[col * p + col]) < 1e-30) {
+            beta[col] = 0.0;
+            continue;
+        }
+        for (std::size_t c = col + 1; c < p; ++c)
+            beta[col] -= a[col * p + c] * beta[c];
+        beta[col] /= a[col * p + col];
+    }
+
+    double ssres = 0.0, sstot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double pred = 0.0;
+        for (std::size_t j = 0; j < p; ++j)
+            pred += (m.at(i, begin + j) - xmean[j]) * beta[j];
+        const double dy = y[i] - my;
+        ssres += (dy - pred) * (dy - pred);
+        sstot += dy * dy;
+    }
+    if (sstot <= 0.0)
+        return 0.0;
+    const double r2 =
+        std::clamp(1.0 - ssres / sstot, 0.0, 1.0);
+    return std::sqrt(r2);
+}
+
+} // namespace
+
+CorrelationStudy
+correlationStudy(const FeatureMatrix &rawFeatures,
+                 const std::vector<double> &metric)
+{
+    if (metric.size() != rawFeatures.rows())
+        sim::fatal("correlationStudy: %zu metric values for %zu frames",
+                   metric.size(), rawFeatures.rows());
+
+    const std::size_t vs = rawFeatures.vsDims();
+    const std::size_t fs = rawFeatures.fsDims();
+
+    CorrelationStudy study;
+    study.vscv = multipleCorrelation(rawFeatures, 0, vs, metric);
+    study.fscv = multipleCorrelation(rawFeatures, vs, vs + fs, metric);
+
+    std::vector<double> prim(rawFeatures.rows());
+    for (std::size_t f = 0; f < rawFeatures.rows(); ++f)
+        prim[f] = rawFeatures.at(f, vs + fs);
+    study.prim = std::fabs(pearson(prim, metric));
+    return study;
+}
+
+} // namespace msim::megsim

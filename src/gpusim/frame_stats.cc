@@ -1,0 +1,125 @@
+#include "gpusim/frame_stats.hh"
+
+#include "sim/logging.hh"
+
+namespace msim::gpusim
+{
+
+const char *
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::Cycles: return "cycles";
+      case Metric::DramAccesses: return "dram accesses";
+      case Metric::L2Accesses: return "l2 accesses";
+      case Metric::TileCacheAccesses: return "tile cache accesses";
+    }
+    return "?";
+}
+
+double
+metricValue(const FrameStats &stats, Metric metric)
+{
+    switch (metric) {
+      case Metric::Cycles:
+        return static_cast<double>(stats.cycles);
+      case Metric::DramAccesses:
+        return static_cast<double>(stats.dramAccesses);
+      case Metric::L2Accesses:
+        return static_cast<double>(stats.l2Accesses);
+      case Metric::TileCacheAccesses:
+        return static_cast<double>(stats.tileCacheAccesses);
+    }
+    return 0.0;
+}
+
+FrameStats &
+FrameStats::operator+=(const FrameStats &o)
+{
+    cycles += o.cycles;
+    vsInvocations += o.vsInvocations;
+    vsInstructions += o.vsInstructions;
+    fsInvocations += o.fsInvocations;
+    fsInstructions += o.fsInstructions;
+    primitives += o.primitives;
+    vertexCacheAccesses += o.vertexCacheAccesses;
+    textureCacheAccesses += o.textureCacheAccesses;
+    tileCacheAccesses += o.tileCacheAccesses;
+    l2Accesses += o.l2Accesses;
+    dramAccesses += o.dramAccesses;
+    dramBytes += o.dramBytes;
+    framebufferBytes += o.framebufferBytes;
+    stallCycles += o.stallCycles;
+    earlyZKills += o.earlyZKills;
+    energy += o.energy;
+    return *this;
+}
+
+std::vector<std::string>
+FrameStats::csvHeader()
+{
+    return {"frame",        "cycles",       "vs_inv",
+            "vs_instr",     "fs_inv",       "fs_instr",
+            "prims",        "vertex_cache", "texture_cache",
+            "tile_cache",   "l2",           "dram",
+            "dram_bytes",   "fb_bytes",     "stall_cycles",
+            "earlyz_kills", "e_geometry",   "e_tiling",
+            "e_raster"};
+}
+
+std::vector<double>
+FrameStats::toCsvRow() const
+{
+    return {static_cast<double>(frameIndex),
+            static_cast<double>(cycles),
+            static_cast<double>(vsInvocations),
+            static_cast<double>(vsInstructions),
+            static_cast<double>(fsInvocations),
+            static_cast<double>(fsInstructions),
+            static_cast<double>(primitives),
+            static_cast<double>(vertexCacheAccesses),
+            static_cast<double>(textureCacheAccesses),
+            static_cast<double>(tileCacheAccesses),
+            static_cast<double>(l2Accesses),
+            static_cast<double>(dramAccesses),
+            static_cast<double>(dramBytes),
+            static_cast<double>(framebufferBytes),
+            static_cast<double>(stallCycles),
+            static_cast<double>(earlyZKills),
+            energy.geometryNj,
+            energy.tilingNj,
+            energy.rasterNj};
+}
+
+FrameStats
+FrameStats::fromCsvRow(const std::vector<double> &row)
+{
+    if (row.size() != csvHeader().size())
+        sim::fatal("frame-stats row has %zu columns, expected %zu",
+                   row.size(), csvHeader().size());
+    FrameStats s;
+    std::size_t i = 0;
+    auto u64 = [&] { return static_cast<std::uint64_t>(row[i++]); };
+    s.frameIndex = u64();
+    s.cycles = u64();
+    s.vsInvocations = u64();
+    s.vsInstructions = u64();
+    s.fsInvocations = u64();
+    s.fsInstructions = u64();
+    s.primitives = u64();
+    s.vertexCacheAccesses = u64();
+    s.textureCacheAccesses = u64();
+    s.tileCacheAccesses = u64();
+    s.l2Accesses = u64();
+    s.dramAccesses = u64();
+    s.dramBytes = u64();
+    s.framebufferBytes = u64();
+    s.stallCycles = u64();
+    s.earlyZKills = u64();
+    s.energy.geometryNj = row[i++];
+    s.energy.tilingNj = row[i++];
+    s.energy.rasterNj = row[i++];
+    return s;
+}
+
+} // namespace msim::gpusim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-frame simulation results: the performance counters MEGsim
+ * estimates (cycles, memory-hierarchy accesses), the activity counts
+ * behind them and the per-phase energy breakdown. FrameStats is what
+ * the ground-truth cache serializes, so its CSV schema is versioned.
+ */
+
+#ifndef MSIM_GPUSIM_FRAME_STATS_HH
+#define MSIM_GPUSIM_FRAME_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msim::gpusim
+{
+
+/** The four key metrics of the paper's Fig. 7. */
+enum class Metric { Cycles, DramAccesses, L2Accesses, TileCacheAccesses };
+
+const char *metricName(Metric metric);
+
+/** Energy per pipeline phase, in nanojoules (Fig. 4 grouping). */
+struct EnergyBreakdown
+{
+    double geometryNj = 0.0;
+    double tilingNj = 0.0;
+    double rasterNj = 0.0;
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        geometryNj += o.geometryNj;
+        tilingNj += o.tilingNj;
+        rasterNj += o.rasterNj;
+        return *this;
+    }
+
+    double totalNj() const { return geometryNj + tilingNj + rasterNj; }
+};
+
+struct FrameStats
+{
+    std::uint64_t frameIndex = 0;
+    std::uint64_t cycles = 0;
+
+    // Shading activity.
+    std::uint64_t vsInvocations = 0;
+    std::uint64_t vsInstructions = 0;
+    std::uint64_t fsInvocations = 0;
+    std::uint64_t fsInstructions = 0;
+    std::uint64_t primitives = 0;
+
+    // Memory hierarchy.
+    std::uint64_t vertexCacheAccesses = 0;
+    std::uint64_t textureCacheAccesses = 0;
+    std::uint64_t tileCacheAccesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t dramBytes = 0;
+    std::uint64_t framebufferBytes = 0; // tile-flush share of dramBytes
+
+    // Pipeline behaviour.
+    std::uint64_t stallCycles = 0;
+    std::uint64_t earlyZKills = 0;
+
+    EnergyBreakdown energy;
+
+    std::uint64_t
+    instructions() const
+    {
+        return vsInstructions + fsInstructions;
+    }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions()) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    FrameStats &operator+=(const FrameStats &o);
+
+    /** CSV schema for the on-disk ground-truth cache. */
+    static std::vector<std::string> csvHeader();
+    std::vector<double> toCsvRow() const;
+    static FrameStats fromCsvRow(const std::vector<double> &row);
+};
+
+double metricValue(const FrameStats &stats, Metric metric);
+
+} // namespace msim::gpusim
+
+#endif // MSIM_GPUSIM_FRAME_STATS_HH

@@ -1,0 +1,81 @@
+#include "gpusim/functional_simulator.hh"
+
+#include "gpusim/rasterizer.hh"
+
+namespace msim::gpusim
+{
+
+FunctionalSimulator::FunctionalSimulator(const GpuConfig &config,
+                                         const SceneBinding &binding)
+    : config_(config), binding_(&binding),
+      geometry_(config, binding),
+      depth_(static_cast<std::size_t>(config.screenWidth) *
+             config.screenHeight)
+{
+    const gfx::SceneTrace &scene = binding.scene();
+    shaderColumn_.resize(scene.shaders.size(), 0);
+    for (const gfx::ShaderProgram &s : scene.shaders) {
+        if (s.kind == gfx::ShaderKind::Vertex)
+            shaderColumn_[s.id] =
+                static_cast<std::uint32_t>(numVs_++);
+        else
+            shaderColumn_[s.id] =
+                static_cast<std::uint32_t>(numFs_++);
+    }
+}
+
+FrameActivity
+FunctionalSimulator::simulate(const gfx::FrameTrace &frame)
+{
+    return simulate(geometry_.process(frame));
+}
+
+FrameActivity
+FunctionalSimulator::simulate(const GeometryIR &ir)
+{
+    FrameActivity act;
+    act.frameIndex = ir.frameIndex;
+    act.vsCounts.assign(numVs_, 0);
+    act.fsCounts.assign(numFs_, 0);
+
+    std::fill(depth_.begin(), depth_.end(), 1.0f);
+    const int width = static_cast<int>(config_.screenWidth);
+    const util::BBox2i screen{0, 0, width,
+                              static_cast<int>(config_.screenHeight)};
+
+    for (const DrawIR &draw : ir.draws) {
+        act.verticesShaded += draw.vertexCount;
+        act.vsCounts[shaderColumn_[draw.vsId]] += draw.vertexCount;
+        act.primitives += draw.triangles.size();
+
+        std::uint64_t shaded = 0;
+        for (const ScreenTriangle &tri : draw.triangles) {
+            rasterizeTriangleInTile(
+                tri, screen, [&](const QuadFragment &quad) {
+                    for (int s = 0; s < 4; ++s) {
+                        if (!(quad.mask & (1 << s)))
+                            continue;
+                        const std::size_t pix =
+                            static_cast<std::size_t>(
+                                quad.y + (s >> 1)) *
+                                static_cast<std::size_t>(width) +
+                            static_cast<std::size_t>(quad.x +
+                                                     (s & 1));
+                        if (draw.transparent) {
+                            // Blended: shaded, no depth write.
+                            if (quad.z[s] <= depth_[pix])
+                                ++shaded;
+                        } else if (quad.z[s] <= depth_[pix]) {
+                            depth_[pix] = quad.z[s];
+                            ++shaded;
+                        }
+                    }
+                });
+        }
+        act.fragmentsShaded += shaded;
+        act.fsCounts[shaderColumn_[draw.fsId]] += shaded;
+    }
+    return act;
+}
+
+} // namespace msim::gpusim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Functional simulator: renders frames with no timing model and
+ * collects the architecture-independent activity counts MEGsim builds
+ * its characteristic vectors from (per-shader invocation counts and
+ * the primitive count, Sec. III-B).
+ */
+
+#ifndef MSIM_GPUSIM_FUNCTIONAL_SIMULATOR_HH
+#define MSIM_GPUSIM_FUNCTIONAL_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/geometry.hh"
+#include "gpusim/gpu_config.hh"
+#include "gpusim/scene_binding.hh"
+
+namespace msim::gpusim
+{
+
+/** Architecture-independent per-frame activity. */
+struct FrameActivity
+{
+    std::uint32_t frameIndex = 0;
+    std::uint64_t primitives = 0;
+    std::uint64_t verticesShaded = 0;
+    std::uint64_t fragmentsShaded = 0;
+    // Invocations per shader, indexed by the shader's position among
+    // shaders of its kind (SceneTrace column order).
+    std::vector<std::uint64_t> vsCounts;
+    std::vector<std::uint64_t> fsCounts;
+};
+
+class FunctionalSimulator
+{
+  public:
+    FunctionalSimulator(const GpuConfig &config,
+                        const SceneBinding &binding);
+
+    FrameActivity simulate(const gfx::FrameTrace &frame);
+    FrameActivity simulate(const GeometryIR &ir);
+
+  private:
+    GpuConfig config_;
+    const SceneBinding *binding_;
+    GeometryProcessor geometry_;
+    std::vector<std::uint32_t> shaderColumn_; // global id -> column
+    std::size_t numVs_ = 0;
+    std::size_t numFs_ = 0;
+    std::vector<float> depth_; // full-screen z buffer
+};
+
+} // namespace msim::gpusim
+
+#endif // MSIM_GPUSIM_FUNCTIONAL_SIMULATOR_HH

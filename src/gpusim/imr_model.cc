@@ -1,0 +1,81 @@
+#include "gpusim/imr_model.hh"
+
+#include "gpusim/rasterizer.hh"
+
+namespace msim::gpusim
+{
+
+ImrMemoryModel::ImrMemoryModel(const GpuConfig &config,
+                               sim::Addr framebufferBase)
+    : config_(config), framebufferBase_(framebufferBase),
+      depthBase_(framebufferBase +
+                 static_cast<sim::Addr>(config.screenWidth) *
+                     config.screenHeight * 4),
+      // The IMR design spends the tile-buffer SRAM budget on a
+      // framebuffer cache instead.
+      framebufferCache_(config.tileCache),
+      depth_(static_cast<std::size_t>(config.screenWidth) *
+             config.screenHeight)
+{}
+
+ImrTraffic
+ImrMemoryModel::frameTraffic(const GeometryIR &ir)
+{
+    const int width = static_cast<int>(config_.screenWidth);
+    const util::BBox2i screen{0, 0, width,
+                              static_cast<int>(config_.screenHeight)};
+    std::fill(depth_.begin(), depth_.end(), 1.0f);
+    framebufferCache_.invalidate();
+
+    const std::uint32_t line = framebufferCache_.config().lineBytes;
+    ImrTraffic traffic;
+    std::uint64_t dramLines = 0;
+
+    auto touch = [&](sim::Addr addr, bool write) {
+        const mem::CacheAccess a =
+            framebufferCache_.access(addr, write);
+        if (!a.hit)
+            ++dramLines;
+        if (a.writeback)
+            ++dramLines;
+    };
+
+    for (const DrawIR &draw : ir.draws) {
+        for (const ScreenTriangle &tri : draw.triangles) {
+            rasterizeTriangleInTile(
+                tri, screen, [&](const QuadFragment &quad) {
+                    for (int s = 0; s < 4; ++s) {
+                        if (!(quad.mask & (1 << s)))
+                            continue;
+                        const int x = quad.x + (s & 1);
+                        const int y = quad.y + (s >> 1);
+                        const std::size_t pix =
+                            static_cast<std::size_t>(y) *
+                                static_cast<std::size_t>(width) +
+                            static_cast<std::size_t>(x);
+                        const sim::Addr off =
+                            static_cast<sim::Addr>(pix) * 4;
+
+                        // Off-chip depth test (read), then write on
+                        // pass for opaque draws.
+                        touch(depthBase_ + off, false);
+                        ++traffic.depthReads;
+                        if (quad.z[s] > depth_[pix])
+                            continue;
+                        if (!draw.transparent) {
+                            depth_[pix] = quad.z[s];
+                            touch(depthBase_ + off, true);
+                        }
+                        // Shade + color write (overdraw pays again).
+                        ++traffic.fragmentsShaded;
+                        touch(framebufferBase_ + off, true);
+                        ++traffic.colorWrites;
+                    }
+                });
+        }
+    }
+    traffic.dramBytes = dramLines * line;
+    return traffic;
+}
+
+} // namespace msim::gpusim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Immediate-Mode Rendering memory model (Sec. II-A comparison): no
+ * binning pass, fragments test and write depth + color straight to the
+ * off-chip framebuffer through a cache. Reports the post-cache DRAM
+ * traffic the TBR tile flush avoids.
+ */
+
+#ifndef MSIM_GPUSIM_IMR_MODEL_HH
+#define MSIM_GPUSIM_IMR_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/geometry.hh"
+#include "gpusim/gpu_config.hh"
+#include "mem/cache.hh"
+#include "sim/types.hh"
+
+namespace msim::gpusim
+{
+
+struct ImrTraffic
+{
+    std::uint64_t dramBytes = 0;       // post-cache depth+color traffic
+    std::uint64_t fragmentsShaded = 0; // includes overdraw
+    std::uint64_t depthReads = 0;
+    std::uint64_t colorWrites = 0;
+};
+
+class ImrMemoryModel
+{
+  public:
+    ImrMemoryModel(const GpuConfig &config, sim::Addr framebufferBase);
+
+    /** Render @p ir and report the frame's framebuffer DRAM traffic. */
+    ImrTraffic frameTraffic(const GeometryIR &ir);
+
+  private:
+    GpuConfig config_;
+    sim::Addr framebufferBase_;
+    sim::Addr depthBase_;
+    mem::Cache framebufferCache_;
+    std::vector<float> depth_;
+};
+
+} // namespace msim::gpusim
+
+#endif // MSIM_GPUSIM_IMR_MODEL_HH

@@ -1,0 +1,65 @@
+#include "gpusim/power.hh"
+
+namespace msim::gpusim
+{
+
+namespace
+{
+
+double
+counter(const obs::StatsRegistry &registry, const char *name)
+{
+    const obs::Stat *stat = registry.find(name);
+    return stat ? stat->value() : 0.0;
+}
+
+} // namespace
+
+EnergyBreakdown
+energyFromRegistry(const obs::StatsRegistry &registry,
+                   const EnergyModel &m)
+{
+    EnergyBreakdown e;
+    e.geometryNj =
+        counter(registry, "gpu.geometry.vs_instructions") *
+            m.vsInstructionNj +
+        counter(registry, "gpu.vertex_cache.accesses") *
+            m.vertexCacheAccessNj +
+        counter(registry, "gpu.geometry.dram_lines") * m.dramLineNj;
+    e.tilingNj =
+        counter(registry, "gpu.tiling.tile_entries") * m.tileEntryNj +
+        counter(registry, "gpu.tiling.tile_list_bytes") *
+            m.tileListByteNj +
+        counter(registry, "gpu.tiling.dram_lines") * m.dramLineNj;
+    e.rasterNj =
+        counter(registry, "gpu.raster.fs_instructions") *
+            m.fsInstructionNj +
+        counter(registry, "gpu.texture_cache.accesses") *
+            m.textureCacheAccessNj +
+        counter(registry, "gpu.raster.quads") * m.quadRasterNj +
+        counter(registry, "gpu.raster.blended_pixels") *
+            m.blendPixelNj +
+        counter(registry, "gpu.tile_cache.accesses") *
+            m.tileCacheAccessNj +
+        counter(registry, "gpu.raster.dram_lines") * m.dramLineNj;
+    return e;
+}
+
+PowerBreakdown
+powerBreakdown(const std::vector<FrameStats> &frames)
+{
+    EnergyBreakdown total;
+    for (const FrameStats &s : frames)
+        total += s.energy;
+
+    PowerBreakdown pb;
+    pb.totalNj = total.totalNj();
+    if (pb.totalNj > 0.0) {
+        pb.geometryFraction = total.geometryNj / pb.totalNj;
+        pb.tilingFraction = total.tilingNj / pb.totalNj;
+        pb.rasterFraction = total.rasterNj / pb.totalNj;
+    }
+    return pb;
+}
+
+} // namespace msim::gpusim

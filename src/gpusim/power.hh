@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-phase energy model (Fig. 4). Event energies are charged against
+ * the stats-registry counters the timing simulator maintains — the
+ * same counters FrameStats reports — so the power breakdown, the
+ * estimator and `megsim-cli stats` can never disagree about activity.
+ */
+
+#ifndef MSIM_GPUSIM_POWER_HH
+#define MSIM_GPUSIM_POWER_HH
+
+#include <vector>
+
+#include "gpusim/frame_stats.hh"
+#include "obs/stats.hh"
+
+namespace msim::gpusim
+{
+
+/** Energy per event, nanojoules (65 nm-class, model calibration). */
+struct EnergyModel
+{
+    double vsInstructionNj = 2.0;
+    double vertexCacheAccessNj = 0.4;
+    double tileEntryNj = 20.0;
+    double tileListByteNj = 1.0;
+    double fsInstructionNj = 0.25;
+    double textureCacheAccessNj = 0.10;
+    double quadRasterNj = 0.05;
+    double blendPixelNj = 0.04;
+    double tileCacheAccessNj = 0.10;
+    double dramLineNj = 12.0;
+};
+
+/**
+ * Read a frame's per-phase energy out of the registry the timing
+ * simulator populates.
+ */
+EnergyBreakdown energyFromRegistry(const obs::StatsRegistry &registry,
+                                   const EnergyModel &model =
+                                       EnergyModel{});
+
+/** Fractions of total dissipated energy per phase (Fig. 4). */
+struct PowerBreakdown
+{
+    double geometryFraction = 0.0;
+    double tilingFraction = 0.0;
+    double rasterFraction = 0.0;
+    double totalNj = 0.0;
+};
+
+PowerBreakdown powerBreakdown(const std::vector<FrameStats> &frames);
+
+} // namespace msim::gpusim
+
+#endif // MSIM_GPUSIM_POWER_HH

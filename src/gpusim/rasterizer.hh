@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Edge-function rasterizer emitting 2x2 quad-fragments, the unit both
+ * pipelines shade in. Header-only so the per-quad callback inlines in
+ * the simulator hot loops.
+ */
+
+#ifndef MSIM_GPUSIM_RASTERIZER_HH
+#define MSIM_GPUSIM_RASTERIZER_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/geom.hh"
+
+namespace msim::gpusim
+{
+
+/** A screen-space triangle after geometry processing. */
+struct ScreenTriangle
+{
+    util::Vec2f v[3];   // pixel coordinates
+    float z[3] = {0.5f, 0.5f, 0.5f};
+    util::Vec2f uv[3];
+
+    util::BBox2i
+    bounds() const
+    {
+        const float x0 = std::min({v[0].x, v[1].x, v[2].x});
+        const float y0 = std::min({v[0].y, v[1].y, v[2].y});
+        const float x1 = std::max({v[0].x, v[1].x, v[2].x});
+        const float y1 = std::max({v[0].y, v[1].y, v[2].y});
+        return util::BBox2i{static_cast<int>(std::floor(x0)),
+                            static_cast<int>(std::floor(y0)),
+                            static_cast<int>(std::floor(x1)) + 1,
+                            static_cast<int>(std::floor(y1)) + 1};
+    }
+
+    /** Twice the signed area; 0 = degenerate, <0 = back-facing. */
+    float
+    area2() const
+    {
+        return (v[1].x - v[0].x) * (v[2].y - v[0].y) -
+               (v[2].x - v[0].x) * (v[1].y - v[0].y);
+    }
+};
+
+/**
+ * A 2x2 fragment quad: the x/y of its top-left pixel (even
+ * coordinates), a 4-bit coverage mask (bit i = pixel (i%2, i/2)),
+ * per-pixel interpolated depth and the quad-center texture coordinate.
+ */
+struct QuadFragment
+{
+    int x = 0;
+    int y = 0;
+    std::uint8_t mask = 0;
+    float z[4] = {};
+    util::Vec2f uv;
+
+    int coveredPixels() const { return __builtin_popcount(mask); }
+};
+
+/**
+ * Rasterize @p tri over the pixels of @p bounds (half-open), invoking
+ * @p emit for every quad with at least one covered sample. Returns the
+ * number of quads emitted. Winding-insensitive (2D sprites flip).
+ */
+template <typename Emit>
+std::size_t
+rasterizeTriangleInTile(const ScreenTriangle &tri,
+                        const util::BBox2i &bounds, Emit &&emit)
+{
+    float a2 = tri.area2();
+    if (a2 == 0.0f)
+        return 0;
+    // Orient the edge functions so inside is positive.
+    const float flip = a2 < 0.0f ? -1.0f : 1.0f;
+    a2 *= flip;
+
+    util::BBox2i box = tri.bounds().intersect(bounds);
+    if (box.empty())
+        return 0;
+    // Snap to the quad grid.
+    box.x0 &= ~1;
+    box.y0 &= ~1;
+
+    const util::Vec2f &p0 = tri.v[0];
+    const util::Vec2f &p1 = tri.v[1];
+    const util::Vec2f &p2 = tri.v[2];
+    // Edge i: from v[i] to v[(i+1)%3]; e(x,y) = A*x + B*y + C.
+    const float ax[3] = {flip * (p0.y - p1.y), flip * (p1.y - p2.y),
+                         flip * (p2.y - p0.y)};
+    const float by[3] = {flip * (p1.x - p0.x), flip * (p2.x - p1.x),
+                         flip * (p0.x - p2.x)};
+    const float cc[3] = {flip * (p0.x * p1.y - p1.x * p0.y),
+                         flip * (p1.x * p2.y - p2.x * p1.y),
+                         flip * (p2.x * p0.y - p0.x * p2.y)};
+
+    const float inv = 1.0f / a2;
+    std::size_t quads = 0;
+    for (int y = box.y0; y < box.y1; y += 2) {
+        for (int x = box.x0; x < box.x1; x += 2) {
+            QuadFragment quad;
+            quad.x = x;
+            quad.y = y;
+            for (int s = 0; s < 4; ++s) {
+                const float px =
+                    static_cast<float>(x + (s & 1)) + 0.5f;
+                const float py =
+                    static_cast<float>(y + (s >> 1)) + 0.5f;
+                const float e0 = ax[0] * px + by[0] * py + cc[0];
+                const float e1 = ax[1] * px + by[1] * py + cc[1];
+                const float e2 = ax[2] * px + by[2] * py + cc[2];
+                if (e0 < 0.0f || e1 < 0.0f || e2 < 0.0f)
+                    continue;
+                // Barycentric weights: e1 belongs to v0 (opposite
+                // edge), e2 to v1, e0 to v2.
+                const float w0 = e1 * inv;
+                const float w1 = e2 * inv;
+                const float w2 = e0 * inv;
+                if (!quad.mask) {
+                    // Texture coordinate of the first covered sample
+                    // stands in for the whole quad.
+                    quad.uv = {w0 * tri.uv[0].x + w1 * tri.uv[1].x +
+                                   w2 * tri.uv[2].x,
+                               w0 * tri.uv[0].y + w1 * tri.uv[1].y +
+                                   w2 * tri.uv[2].y};
+                }
+                quad.mask |= static_cast<std::uint8_t>(1u << s);
+                quad.z[s] =
+                    w0 * tri.z[0] + w1 * tri.z[1] + w2 * tri.z[2];
+            }
+            if (quad.mask) {
+                emit(static_cast<const QuadFragment &>(quad));
+                ++quads;
+            }
+        }
+    }
+    return quads;
+}
+
+} // namespace msim::gpusim
+
+#endif // MSIM_GPUSIM_RASTERIZER_HH

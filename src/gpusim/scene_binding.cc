@@ -1,0 +1,54 @@
+#include "gpusim/scene_binding.hh"
+
+#include <cmath>
+
+namespace msim::gpusim
+{
+
+SceneBinding::SceneBinding(const gfx::SceneTrace &scene)
+    : scene_(&scene)
+{
+    sim::Addr next = 0x1000; // leave page 0 unmapped
+    auto align = [](sim::Addr a) { return (a + 0xfff) & ~sim::Addr{0xfff}; };
+
+    meshBase_.reserve(scene.meshes.size());
+    for (const gfx::Mesh &mesh : scene.meshes) {
+        meshBase_.push_back(next);
+        next = align(next + static_cast<sim::Addr>(
+                                mesh.positions.size()) *
+                                kVertexBytes);
+    }
+    textureBase_.reserve(scene.textures.size());
+    for (const gfx::Texture &tex : scene.textures) {
+        textureBase_.push_back(next);
+        next = align(next + tex.sizeBytes());
+    }
+    tileListBase_ = next;
+    next = align(next + (1u << 20)); // binning scratch
+    framebufferBase_ = next;
+    next = align(next + (8u << 20));
+    depthBase_ = next;
+}
+
+sim::Addr
+SceneBinding::texelAddr(std::int32_t textureId, float u, float v) const
+{
+    if (textureId < 0)
+        return tileListBase_; // untextured draws never call this
+    const gfx::Texture &tex =
+        scene_->textures[static_cast<std::size_t>(textureId)];
+    // Wrap-around addressing, nearest texel.
+    const float fu = u - std::floor(u);
+    const float fv = v - std::floor(v);
+    const auto tx = std::min<std::uint32_t>(
+        tex.width - 1,
+        static_cast<std::uint32_t>(fu * static_cast<float>(tex.width)));
+    const auto ty = std::min<std::uint32_t>(
+        tex.height - 1, static_cast<std::uint32_t>(
+                            fv * static_cast<float>(tex.height)));
+    return textureBase_[static_cast<std::size_t>(textureId)] +
+           (static_cast<sim::Addr>(ty) * tex.width + tx) *
+               tex.bytesPerTexel;
+}
+
+} // namespace msim::gpusim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * SceneBinding lays a SceneTrace out in the simulated physical address
+ * space: vertex buffers, texture mips and the framebuffer get disjoint
+ * regions, so both simulators and the IMR model generate consistent
+ * memory-reference streams from the same scene.
+ */
+
+#ifndef MSIM_GPUSIM_SCENE_BINDING_HH
+#define MSIM_GPUSIM_SCENE_BINDING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gfx/trace.hh"
+#include "sim/types.hh"
+
+namespace msim::gpusim
+{
+
+class SceneBinding
+{
+  public:
+    static constexpr std::uint32_t kVertexBytes = 32;
+    static constexpr std::uint32_t kTileListEntryBytes = 16;
+
+    explicit SceneBinding(const gfx::SceneTrace &scene);
+
+    const gfx::SceneTrace &scene() const { return *scene_; }
+
+    sim::Addr
+    vertexAddr(std::uint32_t meshId, std::uint32_t vertex) const
+    {
+        return meshBase_[meshId] +
+               static_cast<sim::Addr>(vertex) * kVertexBytes;
+    }
+
+    /** Address of the texel nearest to (u, v) in texture 0-level. */
+    sim::Addr texelAddr(std::int32_t textureId, float u, float v) const;
+
+    /** Tile-list scratch region (binning output), per tile. */
+    sim::Addr
+    tileListAddr(std::uint32_t tile, std::uint32_t entry) const
+    {
+        return tileListBase_ + (static_cast<sim::Addr>(tile) * 512 +
+                                entry % 512) *
+                                   kTileListEntryBytes;
+    }
+
+    sim::Addr framebufferBase() const { return framebufferBase_; }
+
+    /** Color address of pixel (x, y); 4 bytes per pixel. */
+    sim::Addr
+    colorAddr(std::uint32_t width, std::uint32_t x,
+              std::uint32_t y) const
+    {
+        return framebufferBase_ +
+               (static_cast<sim::Addr>(y) * width + x) * 4;
+    }
+
+    /** Depth address of pixel (x, y) (IMR only; TBR keeps z on-chip). */
+    sim::Addr
+    depthAddr(std::uint32_t width, std::uint32_t x,
+              std::uint32_t y) const
+    {
+        return depthBase_ +
+               (static_cast<sim::Addr>(y) * width + x) * 4;
+    }
+
+  private:
+    const gfx::SceneTrace *scene_;
+    std::vector<sim::Addr> meshBase_;
+    std::vector<sim::Addr> textureBase_;
+    sim::Addr tileListBase_ = 0;
+    sim::Addr framebufferBase_ = 0;
+    sim::Addr depthBase_ = 0;
+};
+
+} // namespace msim::gpusim
+
+#endif // MSIM_GPUSIM_SCENE_BINDING_HH

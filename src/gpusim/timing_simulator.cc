@@ -1,0 +1,599 @@
+#include "gpusim/timing_simulator.hh"
+
+#include <algorithm>
+#include <iostream>
+#include <utility>
+
+#include "gpusim/power.hh"
+
+namespace msim::gpusim
+{
+
+PipeQueue::PipeQueue(obs::StatsGroup stats, obs::TraceBuffer &trace,
+                     const char *name, std::uint32_t entries)
+    : ring_(entries ? entries : 1, 0), name_(name), trace_(&trace),
+      pushes_(&stats.scalar("pushes", "items enqueued")),
+      stallCycles_(&stats.scalar("stall_cycles",
+                                 "producer cycles lost to a full queue"))
+{}
+
+void
+PipeQueue::reset(std::uint32_t frame)
+{
+    std::fill(ring_.begin(), ring_.end(), 0);
+    head_ = 0;
+    frame_ = frame;
+}
+
+TimingSimulator::TimingSimulator(const GpuConfig &config,
+                                 const SceneBinding &binding,
+                                 const obs::ObsConfig &obsConfig)
+    : config_(config), binding_(&binding),
+      geometry_(config, binding), trace_(obsConfig),
+      vertexCache_(config.vertexCache,
+                   registry_.group("gpu.vertex_cache")),
+      tileCache_(config.tileCache, registry_.group("gpu.tile_cache")),
+      l2_(config.memory.l2, registry_.group("gpu.l2")),
+      dram_(config.memory.dram, registry_.group("gpu.dram")),
+      vertexInQueue_(registry_.group("gpu.queue.vertex_in"), trace_,
+                     "vertex_in", config.vertexInQueueEntries),
+      vertexOutQueue_(registry_.group("gpu.queue.vertex_out"), trace_,
+                      "vertex_out", config.vertexInQueueEntries),
+      triangleQueue_(registry_.group("gpu.queue.triangle"), trace_,
+                     "triangle", config.triangleQueueEntries),
+      fragmentQueue_(registry_.group("gpu.queue.fragment"), trace_,
+                     "fragment", config.fragmentQueueEntries),
+      colorQueue_(registry_.group("gpu.queue.color"), trace_, "color",
+                  config.colorQueueEntries),
+      statsDump_(obsConfig.statsDump)
+{
+    // All texture caches share one stats group: registration is
+    // idempotent, so the four caches aggregate into the same counters.
+    textureCaches_.reserve(config.numTextureCaches);
+    for (std::uint32_t i = 0; i < config.numTextureCaches; ++i)
+        textureCaches_.emplace_back(
+            config.textureCache, registry_.group("gpu.texture_cache"));
+
+    vertexProcFree_.resize(std::max(1u, config.numVertexProcessors));
+    fragmentProcFree_.resize(
+        std::max(1u, config.numFragmentProcessors));
+    earlyZFree_.resize(std::max(1u, config.earlyZInflightQuads));
+
+    tileDepth_.resize(static_cast<std::size_t>(config.tileWidth) *
+                      config.tileHeight);
+    tileOwner_.resize(tileDepth_.size());
+    tileUv_.resize(tileDepth_.size());
+
+    obs::StatsGroup geom = registry_.group("gpu.geometry");
+    vsInvocations_ = &geom.scalar("vs_invocations",
+                                  "vertex-shader executions");
+    vsInstructions_ = &geom.scalar("vs_instructions",
+                                   "vertex-shader instructions");
+    geomDramLines_ = &geom.scalar("dram_lines",
+                                  "DRAM lines fetched for vertices");
+
+    obs::StatsGroup tiling = registry_.group("gpu.tiling");
+    trianglesBinned_ = &tiling.scalar("triangles",
+                                      "triangles binned");
+    tileEntries_ = &tiling.scalar("tile_entries",
+                                  "triangle-tile pairs emitted");
+    tileListBytes_ = &tiling.scalar("tile_list_bytes",
+                                    "bytes written to tile lists");
+    tilingDramLines_ = &tiling.scalar("dram_lines",
+                                      "DRAM lines for tile lists");
+
+    obs::StatsGroup raster = registry_.group("gpu.raster");
+    quads_ = &raster.scalar("quads", "quad-fragments rasterized");
+    earlyZKills_ = &raster.scalar("earlyz_kills",
+                                  "quads rejected by early-Z");
+    fsInvocations_ = &raster.scalar("fs_invocations",
+                                    "fragments shaded");
+    fsInstructions_ = &raster.scalar("fs_instructions",
+                                     "fragment-shader instructions");
+    blendedPixels_ = &raster.scalar("blended_pixels",
+                                    "pixels through the blend unit");
+    framebufferBytes_ = &raster.scalar(
+        "framebuffer_bytes", "tile-flush bytes written off-chip");
+    rasterDramLines_ = &raster.scalar(
+        "dram_lines", "DRAM lines for textures + flushes");
+    tileCycles_ = &raster.distribution(
+        "tile_cycles", 0.0, 20000.0, 20, "cycles spent per tile");
+
+    obs::StatsGroup frame = registry_.group("gpu.frame");
+    frameCycles_ = &frame.scalar("cycles", "frame execution cycles");
+    frameStallCycles_ = &frame.scalar(
+        "stall_cycles", "total queue backpressure cycles");
+    framesSimulated_ = &frame.scalar("index", "frame index simulated");
+    frame.formula(
+        "ipc",
+        [this] {
+            const double c = frameCycles_->value();
+            return c > 0.0 ? (vsInstructions_->value() +
+                              fsInstructions_->value()) /
+                                 c
+                           : 0.0;
+        },
+        "instructions per cycle");
+
+    const gfx::SceneTrace &scene = binding.scene();
+    shaderColumn_.resize(scene.shaders.size(), 0);
+    for (const gfx::ShaderProgram &s : scene.shaders) {
+        if (s.kind == gfx::ShaderKind::Vertex)
+            shaderColumn_[s.id] =
+                static_cast<std::uint32_t>(numVs_++);
+        else
+            shaderColumn_[s.id] =
+                static_cast<std::uint32_t>(numFs_++);
+    }
+}
+
+sim::Tick
+TimingSimulator::memAccess(mem::Cache *l1, sim::Tick now,
+                           sim::Addr addr, bool write,
+                           obs::Scalar *dramLines)
+{
+    sim::Tick t = now;
+    if (l1) {
+        const mem::CacheAccess a = l1->access(addr, write);
+        t += l1->config().hitLatency;
+        if (a.writeback) {
+            const mem::CacheAccess wb = l2_.access(a.victimLine, true);
+            if (wb.writeback)
+                dram_.access(t, wb.victimLine, true);
+        }
+        if (a.hit)
+            return t;
+        write = false; // the L2-facing side of a fill is a read
+    }
+    const mem::CacheAccess l2a = l2_.access(addr, write);
+    t += l2_.config().hitLatency;
+    if (l2a.writeback)
+        dram_.access(t, l2a.victimLine, true);
+    if (l2a.hit)
+        return t;
+    const sim::Tick done = dram_.access(t, addr, write);
+    ++*dramLines;
+    trace_.emit("dram", obs::TraceCategory::Dram, frameIndex_, t, done,
+                addr);
+    return done;
+}
+
+FrameStats
+TimingSimulator::simulate(const gfx::FrameTrace &frame,
+                          FrameActivity *activity)
+{
+    return simulate(geometry_.process(frame), activity);
+}
+
+FrameStats
+TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
+{
+    const gfx::SceneTrace &scene = binding_->scene();
+    frameIndex_ = ir.frameIndex;
+
+    // Cold start: each frame simulates independently of which frames
+    // ran before — the property representative-only simulation needs.
+    registry_.resetPerFrame();
+    vertexCache_.invalidate();
+    for (mem::Cache &c : textureCaches_)
+        c.invalidate();
+    tileCache_.invalidate();
+    l2_.invalidate();
+    dram_.drain();
+    vertexInQueue_.reset(frameIndex_);
+    vertexOutQueue_.reset(frameIndex_);
+    triangleQueue_.reset(frameIndex_);
+    fragmentQueue_.reset(frameIndex_);
+    colorQueue_.reset(frameIndex_);
+    std::fill(vertexProcFree_.begin(), vertexProcFree_.end(), 0);
+    std::fill(fragmentProcFree_.begin(), fragmentProcFree_.end(), 0);
+    std::fill(earlyZFree_.begin(), earlyZFree_.end(), 0);
+
+    if (activity) {
+        *activity = FrameActivity{};
+        activity->frameIndex = ir.frameIndex;
+        activity->vsCounts.assign(numVs_, 0);
+        activity->fsCounts.assign(numFs_, 0);
+    }
+
+    const std::uint32_t tilesX = config_.tilesX();
+    const std::uint32_t tilesY = config_.tilesY();
+    const std::size_t numTiles =
+        static_cast<std::size_t>(tilesX) * tilesY;
+    // Per tile: (draw index, triangle index) in submission order.
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        bins(numTiles);
+
+    // ---- Geometry + binning --------------------------------------------
+    sim::Tick fetchClock = 0;
+    sim::Tick paFree = 0;
+    sim::Tick binFree = 0;
+    sim::Tick geomDone = 0;
+    std::size_t vpRR = 0;
+
+    StageSpan fetchSpan, vsSpan, paSpan, binSpan;
+
+    for (std::uint32_t di = 0; di < ir.draws.size(); ++di) {
+        const DrawIR &draw = ir.draws[di];
+        const gfx::ShaderProgram &vs = scene.shaders[draw.vsId];
+        const std::uint64_t vsInstr = vs.instructionCount();
+
+        sim::Tick lastPaDone = fetchClock;
+        for (std::uint32_t v = 0; v < draw.vertexCount; ++v) {
+            const sim::Tick fetchStart = fetchClock++;
+            const sim::Tick fetchDone = memAccess(
+                &vertexCache_, fetchStart,
+                binding_->vertexAddr(draw.meshId, v), false,
+                geomDramLines_);
+            fetchSpan.cover(fetchStart, fetchDone);
+
+            const sim::Tick inIssue = vertexInQueue_.reserve(fetchDone);
+            sim::Tick &vp = vertexProcFree_[vpRR];
+            vpRR = (vpRR + 1) % vertexProcFree_.size();
+            const sim::Tick vpStart = std::max(inIssue, vp);
+            const sim::Tick vpDone = vpStart + vsInstr;
+            vp = vpDone;
+            vertexInQueue_.complete(vpStart);
+            vsSpan.cover(vpStart, vpDone);
+
+            const sim::Tick outIssue = vertexOutQueue_.reserve(vpDone);
+            const sim::Tick paStart = std::max(outIssue, paFree);
+            const sim::Tick paDone =
+                paStart + (v % std::max(1u, config_.paVerticesPerCycle)
+                               ? 0
+                               : 1);
+            paFree = paDone;
+            vertexOutQueue_.complete(paStart);
+            paSpan.cover(paStart, paDone);
+            lastPaDone = paDone;
+        }
+        *vsInvocations_ += static_cast<double>(draw.vertexCount);
+        *vsInstructions_ +=
+            static_cast<double>(vsInstr * draw.vertexCount);
+        if (activity) {
+            activity->verticesShaded += draw.vertexCount;
+            activity->vsCounts[shaderColumn_[draw.vsId]] +=
+                draw.vertexCount;
+            activity->primitives += draw.triangles.size();
+        }
+
+        // Binning: assign each surviving triangle to the tiles its
+        // bounding box covers and write the tile-list entries.
+        for (std::uint32_t ti = 0; ti < draw.triangles.size(); ++ti) {
+            const ScreenTriangle &tri = draw.triangles[ti];
+            const util::BBox2i box = tri.bounds().intersect(
+                util::BBox2i{0, 0,
+                             static_cast<int>(config_.screenWidth),
+                             static_cast<int>(config_.screenHeight)});
+
+            const sim::Tick tqIssue =
+                triangleQueue_.reserve(lastPaDone);
+            sim::Tick binStart = std::max(tqIssue, binFree);
+            sim::Tick binDone = binStart;
+
+            const int tx0 = box.x0 / static_cast<int>(config_.tileWidth);
+            const int ty0 =
+                box.y0 / static_cast<int>(config_.tileHeight);
+            const int tx1 = (box.x1 - 1) /
+                            static_cast<int>(config_.tileWidth);
+            const int ty1 = (box.y1 - 1) /
+                            static_cast<int>(config_.tileHeight);
+            for (int ty = ty0; ty <= ty1; ++ty) {
+                for (int tx = tx0; tx <= tx1; ++tx) {
+                    const std::size_t tile =
+                        static_cast<std::size_t>(ty) * tilesX +
+                        static_cast<std::size_t>(tx);
+                    binDone += 1; // one entry per cycle
+                    binDone = std::max(
+                        binDone,
+                        memAccess(nullptr, binDone,
+                                  binding_->tileListAddr(
+                                      static_cast<std::uint32_t>(tile),
+                                      static_cast<std::uint32_t>(
+                                          bins[tile].size())),
+                                  true, tilingDramLines_));
+                    bins[tile].emplace_back(di, ti);
+                    ++*tileEntries_;
+                    *tileListBytes_ +=
+                        SceneBinding::kTileListEntryBytes;
+                }
+            }
+            binFree = binDone;
+            triangleQueue_.complete(binStart);
+            binSpan.cover(binStart, binDone);
+            geomDone = std::max(geomDone, binDone);
+            ++*trianglesBinned_;
+        }
+        geomDone = std::max(geomDone, lastPaDone);
+    }
+
+    auto emitStage = [&](const char *name, const StageSpan &span) {
+        if (span.used())
+            trace_.emit(name, obs::TraceCategory::Stage, frameIndex_,
+                        span.begin, span.end);
+    };
+    emitStage("vertex_fetch", fetchSpan);
+    emitStage("vertex_shader", vsSpan);
+    emitStage("primitive_assembly", paSpan);
+    emitStage("binning", binSpan);
+    trace_.emit("geometry", obs::TraceCategory::Phase, frameIndex_, 0,
+                geomDone);
+
+    // ---- Per-tile rasterization ----------------------------------------
+    sim::Tick clock = geomDone;
+    const int tileW = static_cast<int>(config_.tileWidth);
+    const int tileH = static_cast<int>(config_.tileHeight);
+    std::size_t fpRR = 0, ezRR = 0, texRR = 0;
+
+    // Deferred (HSR) per-pixel shading bookkeeping.
+    std::vector<std::uint64_t> hsrPixelsPerDraw;
+
+    for (std::size_t tile = 0; tile < numTiles; ++tile) {
+        if (bins[tile].empty())
+            continue;
+        const sim::Tick tileStart = clock;
+        const int px0 =
+            static_cast<int>(tile % tilesX) * tileW;
+        const int py0 =
+            static_cast<int>(tile / tilesX) * tileH;
+        const util::BBox2i tileBox{
+            px0, py0,
+            std::min(px0 + tileW,
+                     static_cast<int>(config_.screenWidth)),
+            std::min(py0 + tileH,
+                     static_cast<int>(config_.screenHeight))};
+
+        std::fill(tileDepth_.begin(), tileDepth_.end(), 1.0f);
+        std::fill(tileOwner_.begin(), tileOwner_.end(), 0u);
+
+        // Read the tile list back (one L2 access per line).
+        sim::Tick t = clock;
+        const std::size_t listLines =
+            (bins[tile].size() * SceneBinding::kTileListEntryBytes +
+             63) /
+            64;
+        for (std::size_t line = 0; line < listLines; ++line)
+            t = memAccess(nullptr, t,
+                          binding_->tileListAddr(
+                              static_cast<std::uint32_t>(tile),
+                              static_cast<std::uint32_t>(line * 4)),
+                          false, tilingDramLines_);
+
+        StageSpan rastSpan, ezSpan, fsSpan, blendSpan, flushSpan;
+        sim::Tick rastFree = t;
+        sim::Tick blendFree = t;
+        sim::Tick tileDone = t;
+
+        auto pixelIndex = [&](int x, int y) {
+            return static_cast<std::size_t>(y - py0) * tileW +
+                   static_cast<std::size_t>(x - px0);
+        };
+
+        // Shade one surviving quad: queue -> fragment processor ->
+        // texture samples -> blend. Returns the blend-complete time.
+        auto shadeQuad = [&](const DrawIR &draw, sim::Tick ready,
+                             const QuadFragment &quad, int pixels) {
+            const gfx::ShaderProgram &fs = scene.shaders[draw.fsId];
+            const std::uint64_t fsInstr = fs.instructionCount();
+
+            const sim::Tick fqIssue = fragmentQueue_.reserve(ready);
+            sim::Tick &fp = fragmentProcFree_[fpRR];
+            fpRR = (fpRR + 1) % fragmentProcFree_.size();
+            const sim::Tick fpStart = std::max(fqIssue, fp);
+            sim::Tick fpDone = fpStart + fsInstr;
+            fragmentQueue_.complete(fpStart);
+
+            for (std::uint32_t s = 0; s < fs.textureSamples; ++s) {
+                mem::Cache &tc = textureCaches_[texRR];
+                texRR = (texRR + 1) % textureCaches_.size();
+                const sim::Tick texDone = memAccess(
+                    &tc, fpStart,
+                    binding_->texelAddr(draw.textureId,
+                                        quad.uv.x + 0.01f * s,
+                                        quad.uv.y),
+                    false, rasterDramLines_);
+                fpDone = std::max(fpDone, texDone);
+            }
+            fp = fpDone;
+            fsSpan.cover(fpStart, fpDone);
+            *fsInvocations_ += pixels;
+            *fsInstructions_ += static_cast<double>(
+                fsInstr * static_cast<std::uint64_t>(pixels));
+            if (activity) {
+                activity->fragmentsShaded +=
+                    static_cast<std::uint64_t>(pixels);
+                activity->fsCounts[shaderColumn_[draw.fsId]] +=
+                    static_cast<std::uint64_t>(pixels);
+            }
+
+            const sim::Tick cqIssue = colorQueue_.reserve(fpDone);
+            const sim::Tick blendStart = std::max(cqIssue, blendFree);
+            const sim::Tick blendDone = blendStart + pixels;
+            blendFree = blendDone;
+            colorQueue_.complete(blendStart);
+            blendSpan.cover(blendStart, blendDone);
+            *blendedPixels_ += pixels;
+            return blendDone;
+        };
+
+        for (const auto &[di, ti] : bins[tile]) {
+            const DrawIR &draw = ir.draws[di];
+            const ScreenTriangle &tri = draw.triangles[ti];
+            const bool deferOpaque =
+                config_.hsrEnabled && !draw.transparent;
+
+            // Triangle setup: attribute interpolants.
+            rastFree +=
+                12 / std::max(1u, config_.rastAttributesPerCycle);
+
+            rasterizeTriangleInTile(
+                tri, tileBox, [&](const QuadFragment &quad) {
+                    const sim::Tick rastDone = ++rastFree;
+                    rastSpan.cover(rastDone - 1, rastDone);
+                    ++*quads_;
+
+                    // Early depth test against the on-chip tile
+                    // buffer (no memory traffic — the TBR advantage).
+                    sim::Tick &ez = earlyZFree_[ezRR];
+                    ezRR = (ezRR + 1) % earlyZFree_.size();
+                    const sim::Tick ezStart =
+                        std::max(rastDone, ez);
+                    const sim::Tick ezDone = ezStart + 1;
+                    ez = ezDone;
+                    ezSpan.cover(ezStart, ezDone);
+
+                    int passing = 0;
+                    for (int s = 0; s < 4; ++s) {
+                        if (!(quad.mask & (1 << s)))
+                            continue;
+                        const int x = quad.x + (s & 1);
+                        const int y = quad.y + (s >> 1);
+                        const std::size_t pix = pixelIndex(x, y);
+                        if (quad.z[s] > tileDepth_[pix])
+                            continue;
+                        ++passing;
+                        if (!draw.transparent) {
+                            tileDepth_[pix] = quad.z[s];
+                            if (deferOpaque) {
+                                tileOwner_[pix] = di + 1;
+                                tileUv_[pix] = quad.uv;
+                            }
+                        }
+                    }
+                    if (passing == 0) {
+                        ++*earlyZKills_;
+                        return;
+                    }
+                    if (deferOpaque)
+                        return; // shaded after HSR resolve
+                    tileDone = std::max(
+                        tileDone, shadeQuad(draw, ezDone, quad,
+                                            passing));
+                });
+            tileDone = std::max(tileDone, rastFree);
+        }
+
+        if (config_.hsrEnabled) {
+            // Deferred shading: only the visible opaque pixels are
+            // shaded, grouped per draw (PowerVR-style HSR).
+            hsrPixelsPerDraw.assign(ir.draws.size(), 0);
+            for (std::size_t pix = 0; pix < tileOwner_.size(); ++pix)
+                if (tileOwner_[pix])
+                    ++hsrPixelsPerDraw[tileOwner_[pix] - 1];
+            for (std::size_t di = 0; di < hsrPixelsPerDraw.size();
+                 ++di) {
+                std::uint64_t pixels = hsrPixelsPerDraw[di];
+                if (!pixels)
+                    continue;
+                const DrawIR &draw =
+                    ir.draws[static_cast<std::uint32_t>(di)];
+                // Find one representative uv for the draw's texels.
+                QuadFragment quad;
+                for (std::size_t pix = 0; pix < tileOwner_.size();
+                     ++pix) {
+                    if (tileOwner_[pix] == di + 1) {
+                        quad.uv = tileUv_[pix];
+                        break;
+                    }
+                }
+                while (pixels) {
+                    const int batch = static_cast<int>(
+                        std::min<std::uint64_t>(4, pixels));
+                    pixels -= static_cast<std::uint64_t>(batch);
+                    tileDone = std::max(
+                        tileDone,
+                        shadeQuad(draw, tileDone, quad, batch));
+                }
+            }
+        }
+
+        // Tile flush: one color write per pixel, through the tile
+        // cache to DRAM. This is the only framebuffer traffic TBR
+        // generates.
+        const std::uint64_t flushBytes =
+            static_cast<std::uint64_t>(tileBox.width()) *
+            static_cast<std::uint64_t>(tileBox.height()) * 4;
+        sim::Tick flushT = tileDone;
+        for (int y = tileBox.y0; y < tileBox.y1; ++y) {
+            for (int x = tileBox.x0; x < tileBox.x1; x += 16) {
+                // one access per 64 B line (16 4-byte pixels)
+                flushT = std::max(
+                    flushT,
+                    memAccess(
+                        &tileCache_, flushT,
+                        binding_->colorAddr(config_.screenWidth,
+                                            static_cast<std::uint32_t>(
+                                                x),
+                                            static_cast<std::uint32_t>(
+                                                y)),
+                        true, rasterDramLines_));
+            }
+        }
+        flushSpan.cover(tileDone, flushT);
+        *framebufferBytes_ += static_cast<double>(flushBytes);
+        tileDone = flushT;
+
+        emitStage("rasterizer", rastSpan);
+        emitStage("early_z", ezSpan);
+        emitStage("fragment_shader", fsSpan);
+        emitStage("blend", blendSpan);
+        emitStage("tile_flush", flushSpan);
+        trace_.emit("raster_tile", obs::TraceCategory::Stage,
+                    frameIndex_, tileStart, tileDone,
+                    static_cast<std::uint64_t>(tile));
+
+        tileCycles_->sample(static_cast<double>(tileDone - tileStart));
+        clock = tileDone;
+    }
+
+    trace_.emit("raster", obs::TraceCategory::Phase, frameIndex_,
+                geomDone, clock);
+    trace_.emit("frame", obs::TraceCategory::Frame, frameIndex_, 0,
+                clock, ir.primitives());
+
+    return harvest(ir.frameIndex, clock);
+}
+
+FrameStats
+TimingSimulator::harvest(std::uint32_t frameIndex, sim::Tick cycles)
+{
+    frameCycles_->set(static_cast<double>(cycles));
+    framesSimulated_->set(static_cast<double>(frameIndex));
+    frameStallCycles_->set(
+        static_cast<double>(vertexInQueue_.stallCycles() +
+                            vertexOutQueue_.stallCycles() +
+                            triangleQueue_.stallCycles() +
+                            fragmentQueue_.stallCycles() +
+                            colorQueue_.stallCycles()));
+
+    // FrameStats is read back out of the registry: the registry is the
+    // single source of truth for every counter below.
+    FrameStats s;
+    s.frameIndex = frameIndex;
+    s.cycles = cycles;
+    auto count = [this](const char *name) {
+        const obs::Stat *stat = registry_.find(name);
+        return stat ? static_cast<std::uint64_t>(stat->value()) : 0;
+    };
+    s.vsInvocations = count("gpu.geometry.vs_invocations");
+    s.vsInstructions = count("gpu.geometry.vs_instructions");
+    s.fsInvocations = count("gpu.raster.fs_invocations");
+    s.fsInstructions = count("gpu.raster.fs_instructions");
+    s.primitives = count("gpu.tiling.triangles");
+    s.vertexCacheAccesses = count("gpu.vertex_cache.accesses");
+    s.textureCacheAccesses = count("gpu.texture_cache.accesses");
+    s.tileCacheAccesses = count("gpu.tile_cache.accesses");
+    s.l2Accesses = count("gpu.l2.accesses");
+    s.dramAccesses = count("gpu.dram.transactions");
+    s.dramBytes = count("gpu.dram.bytes");
+    s.framebufferBytes = count("gpu.raster.framebuffer_bytes");
+    s.stallCycles = count("gpu.frame.stall_cycles");
+    s.earlyZKills = count("gpu.raster.earlyz_kills");
+    s.energy = energyFromRegistry(registry_);
+
+    if (!statsDump_.empty())
+        registry_.dump(std::cerr, statsDump_);
+    return s;
+}
+
+} // namespace msim::gpusim

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Cycle-level TBR GPU timing model (Sec. II-B architecture): bounded
+ * inter-stage queues modelled as completion-time rings, latency-
+ * annotated caches, banked DRAM, per-tile rasterization with early-Z
+ * (or deferred HSR). Every stage, queue, cache and the DRAM register
+ * their counters in one hierarchical stats registry, and the same
+ * counters are what FrameStats is assembled from — there is a single
+ * source of truth. Stage/queue/DRAM activity is mirrored into the
+ * trace buffer when tracing is enabled.
+ */
+
+#ifndef MSIM_GPUSIM_TIMING_SIMULATOR_HH
+#define MSIM_GPUSIM_TIMING_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/frame_stats.hh"
+#include "gpusim/functional_simulator.hh"
+#include "gpusim/geometry.hh"
+#include "gpusim/gpu_config.hh"
+#include "gpusim/scene_binding.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace msim::gpusim
+{
+
+/**
+ * A bounded pipeline queue, modelled as a ring of slot-free times: a
+ * push at time t issues at max(t, time the oldest slot frees), which
+ * is exactly the backpressure stall. Counters (pushes, stall cycles,
+ * max occupancy proxy) live in the shared registry; long stalls emit
+ * trace events.
+ */
+class PipeQueue
+{
+  public:
+    PipeQueue(obs::StatsGroup stats, obs::TraceBuffer &trace,
+              const char *name, std::uint32_t entries);
+
+    /**
+     * Reserve a slot for an item that becomes ready at @p ready.
+     * Returns the entry time (>= ready; later when the queue is full
+     * — that difference is the backpressure stall). Must be paired
+     * with complete(), which records when the consumer frees the slot.
+     */
+    sim::Tick
+    reserve(sim::Tick ready)
+    {
+        const sim::Tick slotFree = ring_[head_];
+        const sim::Tick issue = slotFree > ready ? slotFree : ready;
+        if (issue > ready) {
+            const sim::Tick stall = issue - ready;
+            *stallCycles_ += static_cast<double>(stall);
+            if (stall >= kTraceStallThreshold)
+                trace_->emit(name_, obs::TraceCategory::Queue, frame_,
+                             ready, issue, stall);
+        }
+        ++*pushes_;
+        return issue;
+    }
+
+    /** The consumer drains the reserved slot at @p done. */
+    void
+    complete(sim::Tick done)
+    {
+        ring_[head_] = done;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    }
+
+    void reset(std::uint32_t frame);
+
+    std::uint64_t stallCycles() const
+    {
+        return static_cast<std::uint64_t>(stallCycles_->value());
+    }
+
+  private:
+    static constexpr sim::Tick kTraceStallThreshold = 8;
+
+    std::vector<sim::Tick> ring_;
+    std::size_t head_ = 0;
+    const char *name_;
+    std::uint32_t frame_ = 0;
+    obs::TraceBuffer *trace_;
+    obs::Scalar *pushes_;
+    obs::Scalar *stallCycles_;
+};
+
+class TimingSimulator
+{
+  public:
+    TimingSimulator(const GpuConfig &config,
+                    const SceneBinding &binding,
+                    const obs::ObsConfig &obsConfig =
+                        obs::ObsConfig::fromEnv());
+
+    /**
+     * Simulate one frame from scratch (cold caches, so the result is
+     * independent of which frames were simulated before — the property
+     * representative-only simulation relies on). Optionally also
+     * reports the functional activity of the frame.
+     */
+    FrameStats simulate(const gfx::FrameTrace &frame,
+                        FrameActivity *activity = nullptr);
+    FrameStats simulate(const GeometryIR &ir,
+                        FrameActivity *activity = nullptr);
+
+    const GpuConfig &config() const { return config_; }
+    obs::StatsRegistry &stats() { return registry_; }
+    obs::TraceBuffer &trace() { return trace_; }
+
+  private:
+    struct StageSpan
+    {
+        sim::Tick begin = ~sim::Tick{0};
+        sim::Tick end = 0;
+
+        void
+        cover(sim::Tick b, sim::Tick e)
+        {
+            if (b < begin)
+                begin = b;
+            if (e > end)
+                end = e;
+        }
+
+        bool used() const { return end >= begin; }
+    };
+
+    /**
+     * Charge an access through @p l1 (may be null for L2-direct
+     * streams) -> L2 -> DRAM; returns the completion time.
+     * @p dramLines counts lines that reached DRAM for this requester,
+     * which is what attributes memory energy to pipeline phases.
+     */
+    sim::Tick memAccess(mem::Cache *l1, sim::Tick now, sim::Addr addr,
+                        bool write, obs::Scalar *dramLines);
+
+    FrameStats harvest(std::uint32_t frameIndex, sim::Tick cycles);
+
+    GpuConfig config_;
+    const SceneBinding *binding_;
+    GeometryProcessor geometry_;
+
+    obs::StatsRegistry registry_;
+    obs::TraceBuffer trace_;
+
+    mem::Cache vertexCache_;
+    std::vector<mem::Cache> textureCaches_;
+    mem::Cache tileCache_;
+    mem::Cache l2_;
+    mem::Dram dram_;
+
+    PipeQueue vertexInQueue_;
+    PipeQueue vertexOutQueue_;
+    PipeQueue triangleQueue_;
+    PipeQueue fragmentQueue_;
+    PipeQueue colorQueue_;
+
+    // Programmable / fixed-function unit availability rings.
+    std::vector<sim::Tick> vertexProcFree_;
+    std::vector<sim::Tick> fragmentProcFree_;
+    std::vector<sim::Tick> earlyZFree_;
+
+    // Per-frame working state.
+    std::vector<float> tileDepth_;
+    std::vector<std::uint32_t> tileOwner_; // HSR: winning draw + 1
+    std::vector<util::Vec2f> tileUv_;      // HSR: winning sample uv
+    std::uint32_t frameIndex_ = 0;
+    std::string statsDump_; // per-frame registry dump glob
+
+    // Stage counters (geometry).
+    obs::Scalar *vsInvocations_;
+    obs::Scalar *vsInstructions_;
+    obs::Scalar *geomDramLines_;
+    // Tiling.
+    obs::Scalar *trianglesBinned_;
+    obs::Scalar *tileEntries_;
+    obs::Scalar *tileListBytes_;
+    obs::Scalar *tilingDramLines_;
+    // Raster.
+    obs::Scalar *quads_;
+    obs::Scalar *earlyZKills_;
+    obs::Scalar *fsInvocations_;
+    obs::Scalar *fsInstructions_;
+    obs::Scalar *blendedPixels_;
+    obs::Scalar *framebufferBytes_;
+    obs::Scalar *rasterDramLines_;
+    obs::Distribution *tileCycles_;
+    // Frame.
+    obs::Scalar *frameCycles_;
+    obs::Scalar *frameStallCycles_;
+    obs::Scalar *framesSimulated_;
+
+    // Column maps for FrameActivity output.
+    std::vector<std::uint32_t> shaderColumn_;
+    std::size_t numVs_ = 0;
+    std::size_t numFs_ = 0;
+};
+
+} // namespace msim::gpusim
+
+#endif // MSIM_GPUSIM_TIMING_SIMULATOR_HH

@@ -1,0 +1,99 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace msim::mem
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config),
+      ownRegistry_(std::make_unique<obs::StatsRegistry>())
+{
+    const std::uint64_t numLines =
+        config_.sizeBytes / config_.lineBytes;
+    if (numLines == 0 || config_.ways == 0)
+        sim::fatal("cache of %llu bytes / %u B lines is empty",
+                   static_cast<unsigned long long>(config_.sizeBytes),
+                   config_.lineBytes);
+    numSets_ = static_cast<std::size_t>(
+        numLines / config_.ways ? numLines / config_.ways : 1);
+    lines_.resize(numSets_ * config_.ways);
+    bindStats(ownRegistry_->group("cache"));
+}
+
+Cache::Cache(const CacheConfig &config, obs::StatsGroup stats)
+    : Cache(config)
+{
+    ownRegistry_.reset();
+    accesses_ = hits_ = misses_ = writebacks_ = nullptr;
+    bindStats(stats);
+}
+
+void
+Cache::bindStats(obs::StatsGroup stats)
+{
+    accesses_ = &stats.scalar("accesses", "total lookups");
+    hits_ = &stats.scalar("hits", "lookups that hit");
+    misses_ = &stats.scalar("misses", "lookups that missed");
+    writebacks_ = &stats.scalar("writebacks",
+                                "dirty lines evicted");
+    obs::Scalar *hits = hits_, *accesses = accesses_;
+    stats.formula(
+        "miss_rate",
+        [hits, accesses] {
+            const double a = accesses->value();
+            return a > 0.0 ? 1.0 - hits->value() / a : 0.0;
+        },
+        "misses / accesses");
+}
+
+CacheAccess
+Cache::access(sim::Addr addr, bool write)
+{
+    const std::uint64_t line = addr / config_.lineBytes;
+    const std::size_t set =
+        static_cast<std::size_t>(line % numSets_);
+    Line *ways = &lines_[set * config_.ways];
+
+    ++*accesses_;
+    ++tick_;
+
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (ways[w].valid && ways[w].tag == line) {
+            ways[w].lru = tick_;
+            if (write)
+                ways[w].dirty = !config_.writeThrough;
+            ++*hits_;
+            return CacheAccess{true, false, 0};
+        }
+    }
+
+    // Miss: fill over the LRU way.
+    ++*misses_;
+    Line *victim = &ways[0];
+    for (std::uint32_t w = 1; w < config_.ways; ++w)
+        if (!ways[w].valid ||
+            (victim->valid && ways[w].lru < victim->lru))
+            victim = &ways[w];
+
+    CacheAccess result{false, false, 0};
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victimLine = victim->tag * config_.lineBytes;
+        ++*writebacks_;
+    }
+    victim->valid = true;
+    victim->tag = line;
+    victim->lru = tick_;
+    victim->dirty = write && !config_.writeThrough;
+    return result;
+}
+
+void
+Cache::invalidate()
+{
+    for (Line &line : lines_)
+        line = Line{};
+}
+
+} // namespace msim::mem

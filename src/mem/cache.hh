@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Set-associative, latency-annotated functional cache (LRU). Hit/miss
+ * state updates synchronously; the caller charges latencies and sends
+ * misses down the hierarchy. All counters live in an obs registry —
+ * either one supplied by the owning simulator (so `l2.misses` shows up
+ * in its stats tree and resets per frame) or a private one for
+ * standalone use.
+ */
+
+#ifndef MSIM_MEM_CACHE_HH
+#define MSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "sim/types.hh"
+
+namespace msim::mem
+{
+
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 4 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 2;
+    sim::Tick hitLatency = 1;
+    std::uint32_t banks = 1;     // parallel banks (L2)
+    bool writeThrough = false;
+};
+
+struct CacheAccess
+{
+    bool hit = false;
+    bool writeback = false;     // evicted a dirty line
+    sim::Addr victimLine = 0;   // line address written back
+};
+
+class Cache
+{
+  public:
+    /** Standalone cache with a private stats registry. */
+    explicit Cache(const CacheConfig &config);
+
+    /** Cache whose counters live under @p stats in a shared registry. */
+    Cache(const CacheConfig &config, obs::StatsGroup stats);
+
+    CacheAccess access(sim::Addr addr, bool write);
+
+    /** Invalidate all lines (per-frame cold start). Keeps counters. */
+    void invalidate();
+
+    const CacheConfig &config() const { return config_; }
+
+    std::uint64_t accesses() const
+    {
+        return static_cast<std::uint64_t>(accesses_->value());
+    }
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(hits_->value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(misses_->value());
+    }
+    std::uint64_t writebacks() const
+    {
+        return static_cast<std::uint64_t>(writebacks_->value());
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    void bindStats(obs::StatsGroup stats);
+
+    CacheConfig config_;
+    std::size_t numSets_;
+    std::vector<Line> lines_;   // numSets_ x ways
+    std::uint64_t tick_ = 0;    // LRU clock
+
+    std::unique_ptr<obs::StatsRegistry> ownRegistry_;
+    obs::Scalar *accesses_ = nullptr;
+    obs::Scalar *hits_ = nullptr;
+    obs::Scalar *misses_ = nullptr;
+    obs::Scalar *writebacks_ = nullptr;
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_CACHE_HH

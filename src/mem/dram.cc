@@ -1,0 +1,72 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace msim::mem
+{
+
+Dram::Dram(const DramConfig &config)
+    : config_(config), banks_(config.banks ? config.banks : 1),
+      ownRegistry_(std::make_unique<obs::StatsRegistry>())
+{
+    bindStats(ownRegistry_->group("dram"));
+}
+
+Dram::Dram(const DramConfig &config, obs::StatsGroup stats)
+    : Dram(config)
+{
+    ownRegistry_.reset();
+    bindStats(stats);
+}
+
+void
+Dram::bindStats(obs::StatsGroup stats)
+{
+    transactions_ = &stats.scalar("transactions",
+                                  "line transfers issued");
+    reads_ = &stats.scalar("reads", "read transactions");
+    writes_ = &stats.scalar("writes", "write transactions");
+    bytes_ = &stats.scalar("bytes", "bytes transferred");
+    rowHits_ = &stats.scalar("row_hits", "open-row hits");
+    rowMisses_ = &stats.scalar("row_misses", "row activations");
+    latency_ = &stats.average("latency_avg",
+                              "issue-to-completion cycles");
+}
+
+sim::Tick
+Dram::access(sim::Tick now, sim::Addr addr, bool write)
+{
+    const std::uint64_t row = addr / config_.rowBytes;
+    Bank &bank = banks_[row % banks_.size()];
+
+    const bool rowHit = bank.rowValid && bank.openRow == row;
+    const sim::Tick latency =
+        rowHit ? config_.rowHitLatency : config_.rowMissLatency;
+    const sim::Tick burst =
+        config_.lineBytes / std::max(1u, config_.bytesPerCycle);
+
+    const sim::Tick start =
+        std::max({now, bank.readyAt, channelReadyAt_});
+    const sim::Tick done = start + latency + burst;
+    bank.readyAt = done;
+    bank.openRow = row;
+    bank.rowValid = true;
+    channelReadyAt_ = start + burst;
+
+    ++*transactions_;
+    ++*(write ? writes_ : reads_);
+    *bytes_ += static_cast<double>(config_.lineBytes);
+    ++*(rowHit ? rowHits_ : rowMisses_);
+    latency_->sample(static_cast<double>(done - now));
+    return done;
+}
+
+void
+Dram::drain()
+{
+    for (Bank &bank : banks_)
+        bank = Bank{};
+    channelReadyAt_ = 0;
+}
+
+} // namespace msim::mem

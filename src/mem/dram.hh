@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Banked, bandwidth-limited DRAM timing model. Per-bank open-row
+ * state gives row-hit/row-miss latencies; a shared channel serializes
+ * bursts at the configured bytes/cycle. Counters live in an obs
+ * registry like the caches.
+ */
+
+#ifndef MSIM_MEM_DRAM_HH
+#define MSIM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "sim/types.hh"
+
+namespace msim::mem
+{
+
+struct DramConfig
+{
+    sim::Tick rowHitLatency = 50;
+    sim::Tick rowMissLatency = 100;
+    std::uint32_t bytesPerCycle = 4;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t banks = 8;
+    std::uint32_t rowBytes = 2048;
+};
+
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config);
+    Dram(const DramConfig &config, obs::StatsGroup stats);
+
+    /**
+     * Issue a line transfer at @p now; returns the completion tick
+     * after bank availability, row activation and channel bandwidth.
+     */
+    sim::Tick access(sim::Tick now, sim::Addr addr, bool write);
+
+    /** Close all rows and clear timing state (per-frame cold start). */
+    void drain();
+
+    const DramConfig &config() const { return config_; }
+
+    std::uint64_t transactions() const
+    {
+        return static_cast<std::uint64_t>(transactions_->value());
+    }
+    std::uint64_t bytesTransferred() const
+    {
+        return static_cast<std::uint64_t>(bytes_->value());
+    }
+
+  private:
+    struct Bank
+    {
+        sim::Tick readyAt = 0;
+        std::uint64_t openRow = 0;
+        bool rowValid = false;
+    };
+
+    void bindStats(obs::StatsGroup stats);
+
+    DramConfig config_;
+    std::vector<Bank> banks_;
+    sim::Tick channelReadyAt_ = 0;
+
+    std::unique_ptr<obs::StatsRegistry> ownRegistry_;
+    obs::Scalar *transactions_ = nullptr;
+    obs::Scalar *reads_ = nullptr;
+    obs::Scalar *writes_ = nullptr;
+    obs::Scalar *bytes_ = nullptr;
+    obs::Scalar *rowHits_ = nullptr;
+    obs::Scalar *rowMisses_ = nullptr;
+    obs::Average *latency_ = nullptr;
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_DRAM_HH

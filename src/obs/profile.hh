@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Wall-clock phase profiling and long-run progress reporting.
+ *
+ * PhaseProfiler accumulates named wall-clock phases (functional pass,
+ * feature build, clustering, representative simulation, estimation);
+ * the MEGsim driver and bench binaries print its report so every perf
+ * claim names where the time went. Heartbeat prints a throughput/ETA
+ * line to stderr during multi-minute ground-truth simulations.
+ */
+
+#ifndef MSIM_OBS_PROFILE_HH
+#define MSIM_OBS_PROFILE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace msim::obs
+{
+
+/** Monotonic wall-clock seconds. */
+double wallSeconds();
+
+class PhaseProfiler
+{
+  public:
+    struct Phase
+    {
+        std::string name;
+        double seconds = 0.0;
+        std::uint64_t entries = 0;
+    };
+
+    /** RAII scope adding its lifetime to a named phase. */
+    class Scoped
+    {
+      public:
+        Scoped(PhaseProfiler &profiler, const std::string &name)
+            : profiler_(&profiler), name_(name), t0_(wallSeconds())
+        {}
+        Scoped(const Scoped &) = delete;
+        Scoped &operator=(const Scoped &) = delete;
+        ~Scoped() { profiler_->add(name_, wallSeconds() - t0_); }
+
+      private:
+        PhaseProfiler *profiler_;
+        std::string name_;
+        double t0_;
+    };
+
+    void add(const std::string &name, double seconds);
+
+    const std::vector<Phase> &phases() const { return phases_; }
+    double totalSeconds() const;
+    bool empty() const { return phases_.empty(); }
+    void clear() { phases_.clear(); }
+
+    /** Fixed-width per-phase summary (seconds and share). */
+    void report(std::ostream &os) const;
+
+    /** Process-wide profiler used by the MEGsim driver and benches. */
+    static PhaseProfiler &global();
+
+  private:
+    std::vector<Phase> phases_; // insertion order = execution order
+};
+
+class Heartbeat
+{
+  public:
+    /**
+     * Progress over @p total units (frames). Prints at most once per
+     * @p intervalSeconds, only after the first interval has passed —
+     * short runs stay silent.
+     */
+    Heartbeat(std::size_t total, std::string label,
+              double intervalSeconds = 2.0);
+
+    /** Report that @p done units are complete. */
+    void tick(std::size_t done);
+
+    /** Final newline if anything was printed. */
+    void finish();
+
+    ~Heartbeat() { finish(); }
+
+  private:
+    std::size_t total_;
+    std::string label_;
+    double interval_;
+    double start_;
+    double lastPrint_;
+    bool printed_ = false;
+};
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_PROFILE_HH

@@ -1,0 +1,205 @@
+#include "obs/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "util/glob.hh"
+
+namespace msim::obs
+{
+
+void
+Distribution::sample(double v, std::uint64_t n)
+{
+    if (!count_ || v < min_)
+        min_ = v;
+    if (!count_ || v > max_)
+        max_ = v;
+    count_ += n;
+    sum_ += v * static_cast<double>(n);
+    if (v < lo_) {
+        underflow_ += n;
+    } else if (v >= hi_) {
+        overflow_ += n;
+    } else {
+        const auto idx = static_cast<std::size_t>(
+            (v - lo_) / (hi_ - lo_) *
+            static_cast<double>(buckets_.size()));
+        buckets_[idx < buckets_.size() ? idx : buckets_.size() - 1] +=
+            n;
+    }
+}
+
+void
+Distribution::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Stat &
+StatsRegistry::insert(std::unique_ptr<Stat> stat)
+{
+    auto [it, ok] = stats_.emplace(stat->name(), std::move(stat));
+    (void)ok;
+    return *it->second;
+}
+
+Stat *
+StatsRegistry::lookup(const std::string &name, Stat::Kind kind)
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end())
+        return nullptr;
+    if (it->second->kind() != kind)
+        sim::fatal("stat '%s' re-registered with a different kind",
+                   name.c_str());
+    return it->second.get();
+}
+
+Scalar &
+StatsRegistry::scalar(const std::string &name, const std::string &desc)
+{
+    if (Stat *s = lookup(name, Stat::Kind::Scalar))
+        return *static_cast<Scalar *>(s);
+    return static_cast<Scalar &>(
+        insert(std::make_unique<Scalar>(name, desc)));
+}
+
+Average &
+StatsRegistry::average(const std::string &name, const std::string &desc)
+{
+    if (Stat *s = lookup(name, Stat::Kind::Average))
+        return *static_cast<Average *>(s);
+    return static_cast<Average &>(
+        insert(std::make_unique<Average>(name, desc)));
+}
+
+Distribution &
+StatsRegistry::distribution(const std::string &name, double lo,
+                            double hi, std::size_t buckets,
+                            const std::string &desc)
+{
+    if (Stat *s = lookup(name, Stat::Kind::Distribution))
+        return *static_cast<Distribution *>(s);
+    return static_cast<Distribution &>(insert(
+        std::make_unique<Distribution>(name, desc, lo, hi, buckets)));
+}
+
+Formula &
+StatsRegistry::formula(const std::string &name,
+                       std::function<double()> fn,
+                       const std::string &desc)
+{
+    if (Stat *s = lookup(name, Stat::Kind::Formula))
+        return *static_cast<Formula *>(s);
+    return static_cast<Formula &>(
+        insert(std::make_unique<Formula>(name, desc, std::move(fn))));
+}
+
+StatsGroup
+StatsRegistry::group(const std::string &prefix)
+{
+    return {*this, prefix};
+}
+
+const Stat *
+StatsRegistry::find(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : it->second.get();
+}
+
+void
+StatsRegistry::resetPerFrame()
+{
+    for (auto &[name, stat] : stats_)
+        stat->reset();
+}
+
+void
+StatsRegistry::visit(const std::function<void(const Stat &)> &fn,
+                     const std::string &glob) const
+{
+    for (const auto &[name, stat] : stats_)
+        if (util::globMatch(glob, name))
+            fn(*stat);
+}
+
+namespace
+{
+
+std::string
+formatValue(double v)
+{
+    char buf[48];
+    if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.4f", v);
+    }
+    return buf;
+}
+
+} // namespace
+
+void
+StatsRegistry::dump(std::ostream &os, const std::string &glob) const
+{
+    // Dotted names, sorted, print as an indented tree:
+    //   gpu
+    //     l2
+    //       accesses   1234   # total L2 lookups
+    std::vector<std::string> open; // currently open group path
+    visit(
+        [&](const Stat &stat) {
+            // Split the name into segments.
+            std::vector<std::string> segs;
+            std::size_t start = 0;
+            const std::string &name = stat.name();
+            for (std::size_t dot = name.find('.');
+                 dot != std::string::npos;
+                 start = dot + 1, dot = name.find('.', start))
+                segs.push_back(name.substr(start, dot - start));
+            const std::string leaf = name.substr(start);
+
+            // Print group headers where the path diverges.
+            std::size_t common = 0;
+            while (common < open.size() && common < segs.size() &&
+                   open[common] == segs[common])
+                ++common;
+            open.resize(common);
+            for (std::size_t i = common; i < segs.size(); ++i) {
+                os << std::string(2 * i, ' ') << segs[i] << '\n';
+                open.push_back(segs[i]);
+            }
+
+            os << std::string(2 * segs.size(), ' ') << leaf;
+            const std::size_t pad =
+                2 * segs.size() + leaf.size() < 40
+                    ? 40 - (2 * segs.size() + leaf.size())
+                    : 1;
+            os << std::string(pad, ' ') << formatValue(stat.value());
+            if (stat.kind() == Stat::Kind::Distribution) {
+                const auto &d =
+                    static_cast<const Distribution &>(stat);
+                os << "  (n=" << d.count() << " min="
+                   << formatValue(d.min())
+                   << " max=" << formatValue(d.max()) << ")";
+            } else if (stat.kind() == Stat::Kind::Average) {
+                os << "  (n="
+                   << static_cast<const Average &>(stat).count()
+                   << ")";
+            }
+            if (!stat.desc().empty())
+                os << "  # " << stat.desc();
+            os << '\n';
+        },
+        glob);
+}
+
+} // namespace msim::obs

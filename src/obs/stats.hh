@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Hierarchical statistics registry (gem5-style).
+ *
+ * Every pipeline stage, queue, cache and the DRAM model declares its
+ * counters in a StatsRegistry under a dotted `unit.subunit.stat` path
+ * instead of keeping ad-hoc counter members. The registry is the
+ * single source of truth: FrameStats is *read out of* the registry at
+ * the end of a simulated frame, and `megsim-cli stats` dumps the same
+ * tree the estimator consumes.
+ *
+ * Stat kinds:
+ *  - Scalar:        a counter or gauge (`l2.misses`)
+ *  - Average:       mean of sampled values (`dram.latency_avg`)
+ *  - Distribution:  fixed-range histogram (`queue.occupancy`)
+ *  - Formula:       computed on read from other stats (`l2.miss_rate`)
+ *
+ * Reset semantics are per-frame: resetPerFrame() zeroes every stat
+ * except formulas (which recompute) — the simulator calls it at frame
+ * start so a dump after simulate() describes exactly one frame.
+ *
+ * The registry is deliberately single-threaded, like the simulator.
+ */
+
+#ifndef MSIM_OBS_STATS_HH
+#define MSIM_OBS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace msim::obs
+{
+
+class Stat
+{
+  public:
+    enum class Kind { Scalar, Average, Distribution, Formula };
+
+    Stat(std::string name, std::string desc, Kind kind)
+        : name_(std::move(name)), desc_(std::move(desc)), kind_(kind)
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    Kind kind() const { return kind_; }
+
+    /** The headline value (count, mean, ...). */
+    virtual double value() const = 0;
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+    Kind kind_;
+};
+
+/** A plain counter / gauge. */
+class Scalar : public Stat
+{
+  public:
+    Scalar(std::string name, std::string desc)
+        : Stat(std::move(name), std::move(desc), Kind::Scalar)
+    {}
+
+    Scalar &
+    operator+=(double d)
+    {
+        value_ += d;
+        return *this;
+    }
+
+    Scalar &
+    operator++()
+    {
+        value_ += 1.0;
+        return *this;
+    }
+
+    void set(double v) { value_ = v; }
+
+    double value() const override { return value_; }
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Mean of sampled values. */
+class Average : public Stat
+{
+  public:
+    Average(std::string name, std::string desc)
+        : Stat(std::move(name), std::move(desc), Kind::Average)
+    {}
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double value() const override
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    void
+    reset() override
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-range histogram with underflow/overflow buckets. */
+class Distribution : public Stat
+{
+  public:
+    Distribution(std::string name, std::string desc, double lo,
+                 double hi, std::size_t buckets)
+        : Stat(std::move(name), std::move(desc), Kind::Distribution),
+          lo_(lo), hi_(hi), buckets_(buckets ? buckets : 1, 0)
+    {}
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double lowerBound() const { return lo_; }
+    double upperBound() const { return hi_; }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Headline value: the sample mean. */
+    double value() const override
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    void reset() override;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Computed on read from other stats; never reset. */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(std::move(name), std::move(desc), Kind::Formula),
+          fn_(std::move(fn))
+    {}
+
+    double value() const override { return fn_ ? fn_() : 0.0; }
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+class StatsGroup;
+
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /**
+     * Register (or fetch, if already registered) a stat. Re-using a
+     * name with a different kind is a fatal error — names are global
+     * within a registry.
+     */
+    Scalar &scalar(const std::string &name,
+                   const std::string &desc = "");
+    Average &average(const std::string &name,
+                     const std::string &desc = "");
+    Distribution &distribution(const std::string &name, double lo,
+                               double hi, std::size_t buckets,
+                               const std::string &desc = "");
+    Formula &formula(const std::string &name,
+                     std::function<double()> fn,
+                     const std::string &desc = "");
+
+    /** Scoped view that prefixes every name with `prefix.`. */
+    StatsGroup group(const std::string &prefix);
+
+    const Stat *find(const std::string &name) const;
+    std::size_t size() const { return stats_.size(); }
+
+    /** Per-frame reset: zero everything except formulas. */
+    void resetPerFrame();
+
+    /** Visit stats whose dotted name matches @p glob, in name order. */
+    void visit(const std::function<void(const Stat &)> &fn,
+               const std::string &glob = "*") const;
+
+    /**
+     * Dump the registry as an indented tree, one leaf per line:
+     * `name  value  # desc`. @p glob filters by full dotted path.
+     */
+    void dump(std::ostream &os, const std::string &glob = "*") const;
+
+  private:
+    Stat &insert(std::unique_ptr<Stat> stat);
+    Stat *lookup(const std::string &name, Stat::Kind kind);
+
+    // std::map keeps names sorted, which makes the dump a stable
+    // pre-order walk of the implied tree.
+    std::map<std::string, std::unique_ptr<Stat>> stats_;
+};
+
+/** Convenience handle carrying a `unit.` prefix into a registry. */
+class StatsGroup
+{
+  public:
+    StatsGroup(StatsRegistry &registry, std::string prefix)
+        : registry_(&registry), prefix_(std::move(prefix))
+    {}
+
+    const std::string &prefix() const { return prefix_; }
+
+    Scalar &
+    scalar(const std::string &name, const std::string &desc = "")
+    {
+        return registry_->scalar(prefix_ + "." + name, desc);
+    }
+
+    Average &
+    average(const std::string &name, const std::string &desc = "")
+    {
+        return registry_->average(prefix_ + "." + name, desc);
+    }
+
+    Distribution &
+    distribution(const std::string &name, double lo, double hi,
+                 std::size_t buckets, const std::string &desc = "")
+    {
+        return registry_->distribution(prefix_ + "." + name, lo, hi,
+                                       buckets, desc);
+    }
+
+    Formula &
+    formula(const std::string &name, std::function<double()> fn,
+            const std::string &desc = "")
+    {
+        return registry_->formula(prefix_ + "." + name, std::move(fn),
+                                  desc);
+    }
+
+    StatsGroup
+    group(const std::string &sub) const
+    {
+        return {*registry_, prefix_ + "." + sub};
+    }
+
+    StatsRegistry &registry() { return *registry_; }
+
+  private:
+    StatsRegistry *registry_;
+    std::string prefix_;
+};
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_STATS_HH

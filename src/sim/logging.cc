@@ -1,0 +1,112 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+namespace msim::sim
+{
+
+namespace
+{
+
+LogLevel
+threshold()
+{
+    static const LogLevel level = [] {
+        const char *env = std::getenv("MEGSIM_LOG");
+        if (!env)
+            return LogLevel::Info;
+        if (!std::strcmp(env, "quiet"))
+            return LogLevel::Warn;
+        if (!std::strcmp(env, "debug"))
+            return LogLevel::Debug;
+        return LogLevel::Info;
+    }();
+    return level;
+}
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+    }
+    return "?";
+}
+
+void
+vlog(LogLevel level, const char *fmt, std::va_list args)
+{
+    if (!logEnabled(level))
+        return;
+    std::fprintf(stderr, "megsim: %s: ", prefix(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(threshold());
+}
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vlog(level, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vlog(LogLevel::Info, fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vlog(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+informOnce(const std::string &key, const char *fmt, ...)
+{
+    static std::set<std::string> seen;
+    if (!seen.insert(key).second)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    vlog(LogLevel::Info, fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "megsim: fatal: ");
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace msim::sim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal printf-style logging: inform/warn/fatal plus a once-only
+ * variant used for configuration banners (e.g. resolved cache/output
+ * directories). Verbosity is controlled with MEGSIM_LOG
+ * (quiet|info|debug, default info).
+ */
+
+#ifndef MSIM_SIM_LOGGING_HH
+#define MSIM_SIM_LOGGING_HH
+
+#include <string>
+
+namespace msim::sim
+{
+
+enum class LogLevel { Debug, Info, Warn, Fatal };
+
+/** True when messages at @p level are currently emitted. */
+bool logEnabled(LogLevel level);
+
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Log the message the first time @p key is seen, then stay silent. */
+void informOnce(const std::string &key, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace msim::sim
+
+#endif // MSIM_SIM_LOGGING_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Seeded, reproducible random number generation (SplitMix64 seeding a
+ * xoshiro256** core). Every stochastic decision in the library goes
+ * through an explicitly seeded Rng so that workload composition,
+ * k-means initialization and sampling baselines are deterministic.
+ */
+
+#ifndef MSIM_SIM_RANDOM_HH
+#define MSIM_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace msim::sim
+{
+
+/** SplitMix64 step; also useful standalone as a hash mixer. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless mix of several values into one seed. */
+constexpr std::uint64_t
+hashMix(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+        std::uint64_t c = 0xbf58476d1ce4e5b9ULL)
+{
+    std::uint64_t s = a;
+    std::uint64_t h = splitmix64(s);
+    s ^= b + 0x165667b19e3779f9ULL + (h << 6) + (h >> 2);
+    h ^= splitmix64(s);
+    s ^= c + 0x27d4eb2f165667c5ULL + (h << 6) + (h >> 2);
+    return splitmix64(s);
+}
+
+/** xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : s_)
+            word = splitmix64(sm);
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound = 0 yields 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection-free multiply-shift is fine for simulation use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    range(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    gaussian()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(6.283185307179586 * u2);
+        have_spare_ = true;
+        return mag * std::cos(6.283185307179586 * u2);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+    double spare_ = 0.0;
+    bool have_spare_ = false;
+};
+
+} // namespace msim::sim
+
+#endif // MSIM_SIM_RANDOM_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Fundamental simulation scalar types shared across the library.
+ */
+
+#ifndef MSIM_SIM_TYPES_HH
+#define MSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace msim::sim
+{
+
+/** Simulated time, in GPU core cycles. */
+using Tick = std::uint64_t;
+
+/** A simulated physical address. */
+using Addr = std::uint64_t;
+
+} // namespace msim::sim
+
+#endif // MSIM_SIM_TYPES_HH

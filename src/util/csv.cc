@@ -1,0 +1,68 @@
+#include "util/csv.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace msim::util
+{
+
+void
+writeCsv(const std::string &path, const CsvTable &table)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("cannot write CSV file '%s'", path.c_str());
+    for (std::size_t c = 0; c < table.header.size(); ++c)
+        out << (c ? "," : "") << table.header[c];
+    out << '\n';
+    char buf[64];
+    for (const auto &row : table.rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            // %.17g round-trips doubles exactly; counters print short.
+            std::snprintf(buf, sizeof(buf), "%.17g", row[c]);
+            if (c)
+                out << ',';
+            out << buf;
+        }
+        out << '\n';
+    }
+    if (!out)
+        sim::fatal("error writing CSV file '%s'", path.c_str());
+}
+
+bool
+readCsv(const std::string &path, CsvTable &table)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    table.header.clear();
+    table.rows.clear();
+
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    std::stringstream hs(line);
+    std::string cell;
+    while (std::getline(hs, cell, ','))
+        table.header.push_back(cell);
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<double> row;
+        row.reserve(table.header.size());
+        std::stringstream ls(line);
+        while (std::getline(ls, cell, ','))
+            row.push_back(std::strtod(cell.c_str(), nullptr));
+        if (row.size() != table.header.size())
+            return false;
+        table.rows.push_back(std::move(row));
+    }
+    return true;
+}
+
+} // namespace msim::util

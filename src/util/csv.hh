@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fixed-schema numeric CSV reader/writer. All persistent artifacts of
+ * the library (frame-stats cache, bench outputs) are tables of doubles
+ * with a one-line header, which keeps the format trivially diffable.
+ */
+
+#ifndef MSIM_UTIL_CSV_HH
+#define MSIM_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace msim::util
+{
+
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<double>> rows;
+};
+
+/** Write @p table to @p path; fatal on I/O failure. */
+void writeCsv(const std::string &path, const CsvTable &table);
+
+/** Read a table written by writeCsv. Returns false if unreadable. */
+bool readCsv(const std::string &path, CsvTable &table);
+
+} // namespace msim::util
+
+#endif // MSIM_UTIL_CSV_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small geometry helpers used by the rasterizer and workload
+ * composer: 2/3-component vectors and an integer pixel bounding box.
+ */
+
+#ifndef MSIM_UTIL_GEOM_HH
+#define MSIM_UTIL_GEOM_HH
+
+#include <algorithm>
+
+namespace msim::util
+{
+
+struct Vec2f
+{
+    float x = 0.0f;
+    float y = 0.0f;
+};
+
+struct Vec3f
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+};
+
+/** Half-open pixel rectangle [x0, x1) x [y0, y1). */
+struct BBox2i
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = 0;
+    int y1 = 0;
+
+    bool empty() const { return x1 <= x0 || y1 <= y0; }
+    int width() const { return x1 - x0; }
+    int height() const { return y1 - y0; }
+
+    BBox2i
+    intersect(const BBox2i &o) const
+    {
+        return {std::max(x0, o.x0), std::max(y0, o.y0),
+                std::min(x1, o.x1), std::min(y1, o.y1)};
+    }
+};
+
+} // namespace msim::util
+
+#endif // MSIM_UTIL_GEOM_HH

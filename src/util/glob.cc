@@ -1,0 +1,32 @@
+#include "util/glob.hh"
+
+namespace msim::util
+{
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative wildcard match with backtracking over the last '*'.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+} // namespace msim::util

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Glob matching for stat paths and trace filters: '*' matches any run
+ * of characters (including '.'), '?' any single character.
+ */
+
+#ifndef MSIM_UTIL_GLOB_HH
+#define MSIM_UTIL_GLOB_HH
+
+#include <string>
+
+namespace msim::util
+{
+
+bool globMatch(const std::string &pattern, const std::string &text);
+
+} // namespace msim::util
+
+#endif // MSIM_UTIL_GLOB_HH

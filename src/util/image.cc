@@ -1,0 +1,45 @@
+#include "util/image.hh"
+
+#include <fstream>
+
+#include "sim/logging.hh"
+
+namespace msim::util
+{
+
+void
+GrayImage::writePgm(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        sim::fatal("cannot write PGM file '%s'", path.c_str());
+    out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+    out.write(reinterpret_cast<const char *>(pixels_.data()),
+              static_cast<std::streamsize>(pixels_.size()));
+}
+
+Rgb
+RgbImage::categorical(std::size_t label)
+{
+    // 12 visually distinct hues, cycled.
+    static const Rgb palette[] = {
+        {230, 25, 75},   {60, 180, 75},   {255, 225, 25},
+        {0, 130, 200},   {245, 130, 48},  {145, 30, 180},
+        {70, 240, 240},  {240, 50, 230},  {210, 245, 60},
+        {250, 190, 212}, {0, 128, 128},   {170, 110, 40},
+    };
+    return palette[label % (sizeof(palette) / sizeof(palette[0]))];
+}
+
+void
+RgbImage::writePpm(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        sim::fatal("cannot write PPM file '%s'", path.c_str());
+    out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+    out.write(reinterpret_cast<const char *>(pixels_.data()),
+              static_cast<std::streamsize>(pixels_.size() * 3));
+}
+
+} // namespace msim::util

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Grayscale (PGM) and RGB (PPM) images for the similarity-matrix and
+ * cluster plots (Figs. 5-6). Binary P5/P6 output, no dependencies.
+ */
+
+#ifndef MSIM_UTIL_IMAGE_HH
+#define MSIM_UTIL_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msim::util
+{
+
+class GrayImage
+{
+  public:
+    GrayImage(int width, int height)
+        : width_(width), height_(height),
+          pixels_(static_cast<std::size_t>(width) * height, 0)
+    {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    std::uint8_t &
+    at(int x, int y)
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    std::uint8_t
+    at(int x, int y) const
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    void writePgm(const std::string &path) const;
+
+  private:
+    int width_;
+    int height_;
+    std::vector<std::uint8_t> pixels_;
+};
+
+struct Rgb
+{
+    std::uint8_t r = 0;
+    std::uint8_t g = 0;
+    std::uint8_t b = 0;
+};
+
+class RgbImage
+{
+  public:
+    RgbImage(int width, int height)
+        : width_(width), height_(height),
+          pixels_(static_cast<std::size_t>(width) * height)
+    {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    Rgb &
+    at(int x, int y)
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    const Rgb &
+    at(int x, int y) const
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    /** A well-separated categorical palette color for @p label. */
+    static Rgb categorical(std::size_t label);
+
+    void writePpm(const std::string &path) const;
+
+  private:
+    int width_;
+    int height_;
+    std::vector<Rgb> pixels_;
+};
+
+} // namespace msim::util
+
+#endif // MSIM_UTIL_IMAGE_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Summary statistics over samples: mean, standard deviation and
+ * linear-interpolated percentiles (used for the 95 %-confidence
+ * errors of Table IV).
+ */
+
+#ifndef MSIM_UTIL_SUMMARY_HH
+#define MSIM_UTIL_SUMMARY_HH
+
+#include <vector>
+
+namespace msim::util
+{
+
+double mean(const std::vector<double> &values);
+double stddev(const std::vector<double> &values);
+
+/**
+ * The @p percent th percentile (0..100) of @p values with linear
+ * interpolation between order statistics. Empty input yields 0.
+ */
+double percentile(std::vector<double> values, double percent);
+
+} // namespace msim::util
+
+#endif // MSIM_UTIL_SUMMARY_HH

@@ -1,0 +1,322 @@
+#include "workloads/composer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace msim::workloads
+{
+
+namespace
+{
+
+/** Hash a handful of ids into a deterministic value. */
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0,
+    std::uint64_t d = 0)
+{
+    return sim::hashMix(sim::hashMix(a, b, c), d);
+}
+
+double
+u01(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+float
+wrap01(float v)
+{
+    v = v - std::floor(v);
+    return v;
+}
+
+/**
+ * Regular grid mesh over [-0.5, 0.5]², n×n cells, two triangles per
+ * cell. 3D worlds get a deterministic per-vertex height field so
+ * rotated instances expose depth variation.
+ */
+gfx::Mesh
+gridMesh(std::uint32_t id, std::uint32_t n, bool is3d,
+         std::uint64_t variantSeed)
+{
+    gfx::Mesh mesh;
+    mesh.id = id;
+    n = std::max<std::uint32_t>(n, 1);
+    for (std::uint32_t j = 0; j <= n; ++j) {
+        for (std::uint32_t i = 0; i <= n; ++i) {
+            const float u = static_cast<float>(i) / n;
+            const float v = static_cast<float>(j) / n;
+            float z = 0.0f;
+            if (is3d)
+                z = static_cast<float>(
+                        u01(mix(variantSeed, i, j, 0x3d)) - 0.5) *
+                    0.3f;
+            mesh.positions.push_back({u - 0.5f, v - 0.5f, z});
+            mesh.uvs.push_back({u, v});
+        }
+    }
+    const std::uint32_t stride = n + 1;
+    for (std::uint32_t j = 0; j < n; ++j) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t a = j * stride + i;
+            const std::uint32_t b = a + 1;
+            const std::uint32_t c = a + stride;
+            const std::uint32_t d = c + 1;
+            mesh.indices.insert(mesh.indices.end(), {a, b, c});
+            mesh.indices.insert(mesh.indices.end(), {b, d, c});
+        }
+    }
+    return mesh;
+}
+
+int
+placementRank(Placement p)
+{
+    switch (p) {
+      case Placement::Backdrop: return 0;
+      case Placement::Sprite: return 1;
+      case Placement::Overlay: return 2;
+    }
+    return 1;
+}
+
+} // namespace
+
+SceneComposer::SceneComposer(const GameSpec &spec, double scale)
+    : spec_(spec), scale_(scale)
+{
+    if (spec_.groups.empty())
+        sim::fatal("GameSpec '%s' has no groups", spec_.name.c_str());
+    if (spec_.segments.empty())
+        sim::fatal("GameSpec '%s' has no segments",
+                   spec_.name.c_str());
+    if (spec_.script.empty())
+        for (std::size_t i = 0; i < spec_.segments.size(); ++i)
+            spec_.script.push_back(i);
+    for (std::size_t seg : spec_.script)
+        if (seg >= spec_.segments.size())
+            sim::fatal("script references segment %zu of %zu", seg,
+                       spec_.segments.size());
+    for (const SegmentSpec &seg : spec_.segments)
+        for (std::size_t g : seg.groups)
+            if (g >= spec_.groups.size())
+                sim::fatal("segment '%s' references group %zu of %zu",
+                           seg.name.c_str(), g, spec_.groups.size());
+}
+
+gfx::SceneTrace
+SceneComposer::compose() const
+{
+    gfx::SceneTrace scene;
+    scene.name = spec_.name;
+
+    const std::uint32_t nvs = std::max<std::uint32_t>(
+        spec_.numVertexShaders, 1);
+    const std::uint32_t nfs = std::max<std::uint32_t>(
+        spec_.numFragmentShaders, 1);
+    const std::uint32_t ntex = std::max<std::uint32_t>(
+        spec_.numTextures, 1);
+    const std::uint32_t nworlds = std::max<std::uint32_t>(
+        spec_.numWorlds, 1);
+
+    // Shader roster: vertex programs first (column order), then
+    // fragment programs with hash-varied instruction mixes so the
+    // characteristic vectors have per-column texture.
+    for (std::uint32_t i = 0; i < nvs; ++i) {
+        gfx::ShaderProgram s;
+        s.id = static_cast<std::uint32_t>(scene.shaders.size());
+        s.kind = gfx::ShaderKind::Vertex;
+        const std::uint64_t h = mix(spec_.seed, 0x7653, i);
+        s.aluInstructions = 6 + static_cast<std::uint32_t>(h % 10) +
+                            (spec_.is3d ? 6 : 0);
+        s.textureSamples = 0;
+        scene.shaders.push_back(s);
+    }
+    for (std::uint32_t j = 0; j < nfs; ++j) {
+        gfx::ShaderProgram s;
+        s.id = static_cast<std::uint32_t>(scene.shaders.size());
+        s.kind = gfx::ShaderKind::Fragment;
+        const std::uint64_t h = mix(spec_.seed, 0x6673, j);
+        s.aluInstructions = 4 + static_cast<std::uint32_t>(h % 12);
+        // Roughly a third of the programs are untextured fills.
+        s.textureSamples =
+            (j % 3 == 1) ? 0 : 1 + static_cast<std::uint32_t>(h % 3);
+        switch ((h >> 8) % 3) {
+          case 0: s.filter = gfx::TextureFilter::Linear; break;
+          case 1: s.filter = gfx::TextureFilter::Bilinear; break;
+          default: s.filter = gfx::TextureFilter::Trilinear; break;
+        }
+        scene.shaders.push_back(s);
+    }
+
+    for (std::uint32_t t = 0; t < ntex; ++t) {
+        gfx::Texture tex;
+        tex.id = t;
+        tex.width = 64u << (t % 3);
+        tex.height = 64u << ((t + 1) % 3);
+        scene.textures.push_back(tex);
+    }
+
+    // One mesh variant per (group, world).
+    for (std::size_t g = 0; g < spec_.groups.size(); ++g) {
+        const GroupSpec &group = spec_.groups[g];
+        for (std::uint32_t w = 0; w < nworlds; ++w) {
+            const std::uint32_t id = static_cast<std::uint32_t>(
+                g * nworlds + w);
+            scene.meshes.push_back(gridMesh(
+                id, group.detail, spec_.is3d,
+                mix(spec_.seed, 0x6d65, g, w)));
+        }
+    }
+
+    // Segment schedule. Durations depend only on (seed, ordinal), so
+    // the frame→segment mapping is identical for any requested frame
+    // count — the prefix-stability guarantee.
+    scene.frames.reserve(spec_.frames);
+    std::size_t ordinal = 0;
+    std::size_t begin = 0;
+    while (scene.frames.size() < spec_.frames) {
+        const std::size_t segIdx =
+            spec_.script[ordinal % spec_.script.size()];
+        const SegmentSpec &segment = spec_.segments[segIdx];
+        const std::uint32_t lo =
+            std::max<std::uint32_t>(segment.minFrames, 1);
+        const std::uint32_t hi =
+            std::max(segment.maxFrames, lo);
+        const std::uint64_t h = mix(spec_.seed, 0x5e67, ordinal);
+        const std::size_t duration = lo + h % (hi - lo + 1);
+        for (std::size_t k = 0;
+             k < duration && scene.frames.size() < spec_.frames; ++k)
+            scene.frames.push_back(
+                composeFrame(begin + k, segment, ordinal, k));
+        begin += duration;
+        ++ordinal;
+    }
+    return scene;
+}
+
+gfx::FrameTrace
+SceneComposer::composeFrame(std::size_t f, const SegmentSpec &segment,
+                            std::size_t segmentOrdinal,
+                            std::size_t frameInSegment) const
+{
+    (void)segmentOrdinal;
+    (void)frameInSegment;
+
+    const std::uint32_t nvs = std::max<std::uint32_t>(
+        spec_.numVertexShaders, 1);
+    const std::uint32_t nfs = std::max<std::uint32_t>(
+        spec_.numFragmentShaders, 1);
+    const std::uint32_t ntex = std::max<std::uint32_t>(
+        spec_.numTextures, 1);
+    const std::uint32_t nworlds = std::max<std::uint32_t>(
+        spec_.numWorlds, 1);
+
+    gfx::FrameTrace frame;
+    frame.index = static_cast<std::uint32_t>(f);
+
+    // Draw groups back-to-front by placement layer, preserving the
+    // spec's group order within a layer.
+    std::vector<std::size_t> order(segment.groups);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return placementRank(
+                                    spec_.groups[a].placement) <
+                                placementRank(
+                                    spec_.groups[b].placement);
+                     });
+
+    for (std::size_t g : order) {
+        const GroupSpec &group = spec_.groups[g];
+
+        // Instance count: intensity interpolates the spec's range,
+        // the workload scale knob thins or thickens the population.
+        double wanted =
+            group.minCount +
+            segment.intensity * (group.maxCount - group.minCount);
+        if (group.placement == Placement::Sprite)
+            wanted *= scale_;
+        const std::uint32_t cap = nworlds * std::max<std::uint32_t>(
+            spec_.instancesPerWorld, 1);
+        const std::uint32_t count = std::clamp<std::uint32_t>(
+            static_cast<std::uint32_t>(std::lround(wanted)), 1, cap);
+
+        // Instances live for a churn-dependent number of frames and
+        // respawn with fresh parameters; everything derives from the
+        // absolute frame index, never from composition order.
+        const std::uint32_t lifetime = static_cast<std::uint32_t>(
+            30 + (1.0f - std::clamp(segment.churn, 0.0f, 1.0f)) * 150);
+
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint64_t ih = mix(spec_.seed, 0x11, g, i);
+            const std::size_t phase = ih % lifetime;
+            const std::size_t epoch = (f + phase) / lifetime;
+            const std::size_t life = (f + phase) % lifetime;
+            const float t =
+                static_cast<float>(life) / static_cast<float>(lifetime);
+            const std::uint64_t h = mix(ih, 0x22, epoch);
+
+            gfx::DrawCall draw;
+            draw.meshId = static_cast<std::uint32_t>(
+                g * nworlds + h % nworlds);
+            draw.vsId = group.vs % nvs;
+            draw.fsId = nvs + group.fs % nfs;
+            draw.textureId =
+                static_cast<std::int32_t>(group.tex % ntex);
+            draw.transparent = group.transparent;
+            draw.scale = group.sizeMin +
+                         static_cast<float>(u01(mix(h, 0x33))) *
+                             (group.sizeMax - group.sizeMin);
+
+            switch (group.placement) {
+              case Placement::Backdrop:
+                // Screen-filling layer with a slow per-epoch drift.
+                draw.x = 0.5f +
+                         0.1f * (static_cast<float>(u01(mix(h, 0x44))) -
+                                 0.5f);
+                draw.y = 0.5f +
+                         0.1f * (static_cast<float>(u01(mix(h, 0x55))) -
+                                 0.5f);
+                draw.depth = 0.98f - 0.005f * static_cast<float>(i);
+                draw.rotation = 0.0f;
+                break;
+              case Placement::Sprite: {
+                const float x0 =
+                    static_cast<float>(u01(mix(h, 0x66)));
+                const float y0 =
+                    static_cast<float>(u01(mix(h, 0x77)));
+                const float vx =
+                    (static_cast<float>(u01(mix(h, 0x88))) - 0.5f) *
+                    0.8f;
+                const float vy =
+                    (static_cast<float>(u01(mix(h, 0x99))) - 0.5f) *
+                    0.8f;
+                draw.x = wrap01(x0 + vx * t);
+                draw.y = wrap01(y0 + vy * t);
+                draw.depth =
+                    0.2f +
+                    0.6f * static_cast<float>(u01(mix(h, 0xaa)));
+                draw.rotation =
+                    t * 6.2831853f *
+                    (static_cast<float>(u01(mix(h, 0xbb))) - 0.5f);
+                break;
+              }
+              case Placement::Overlay:
+                // HUD slots pinned along the top edge.
+                draw.x = (static_cast<float>(i) + 0.5f) /
+                         static_cast<float>(count);
+                draw.y = 0.08f;
+                draw.depth = 0.02f + 0.005f * static_cast<float>(i);
+                draw.rotation = 0.0f;
+                break;
+            }
+            frame.draws.push_back(draw);
+        }
+    }
+    return frame;
+}
+
+} // namespace msim::workloads

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/stats.hh"
+
+using namespace msim::obs;
+
+TEST(Stats, ScalarCountsAndResets)
+{
+    StatsRegistry registry;
+    Scalar &s = registry.scalar("gpu.l2.misses", "L2 misses");
+    ++s;
+    s += 4.0;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    registry.resetPerFrame();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, RegistrationIsIdempotent)
+{
+    StatsRegistry registry;
+    Scalar &a = registry.scalar("gpu.tex.accesses");
+    Scalar &b = registry.scalar("gpu.tex.accesses");
+    EXPECT_EQ(&a, &b) << "same name+kind must return the same stat";
+    ++a;
+    EXPECT_DOUBLE_EQ(b.value(), 1.0);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(StatsDeathTest, KindMismatchIsFatal)
+{
+    StatsRegistry registry;
+    registry.scalar("gpu.x");
+    EXPECT_DEATH(registry.average("gpu.x"), "gpu.x");
+}
+
+TEST(Stats, AverageTracksMean)
+{
+    StatsRegistry registry;
+    Average &avg = registry.average("dram.latency_avg");
+    avg.sample(10.0);
+    avg.sample(30.0);
+    EXPECT_EQ(avg.count(), 2u);
+    EXPECT_DOUBLE_EQ(avg.value(), 20.0);
+    registry.resetPerFrame();
+    EXPECT_EQ(avg.count(), 0u);
+    EXPECT_DOUBLE_EQ(avg.value(), 0.0);
+}
+
+TEST(Stats, DistributionBucketsAndRange)
+{
+    StatsRegistry registry;
+    Distribution &d =
+        registry.distribution("q.occupancy", 0.0, 10.0, 5);
+    d.sample(-1.0);      // underflow
+    d.sample(0.5);       // bucket 0
+    d.sample(9.5);       // bucket 4
+    d.sample(11.0, 2);   // overflow, weighted
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(4), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), -1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 11.0);
+    registry.resetPerFrame();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Stats, FormulaComputesOnReadAndSurvivesReset)
+{
+    StatsRegistry registry;
+    Scalar &hits = registry.scalar("c.hits");
+    Scalar &accesses = registry.scalar("c.accesses");
+    Formula &rate = registry.formula("c.hit_rate", [&]() {
+        return accesses.value() > 0.0 ? hits.value() / accesses.value()
+                                      : 0.0;
+    });
+    hits += 3.0;
+    accesses += 4.0;
+    EXPECT_DOUBLE_EQ(rate.value(), 0.75);
+    registry.resetPerFrame();
+    EXPECT_DOUBLE_EQ(rate.value(), 0.0) << "recomputes from reset "
+                                           "inputs";
+    hits += 1.0;
+    accesses += 1.0;
+    EXPECT_DOUBLE_EQ(rate.value(), 1.0);
+}
+
+TEST(Stats, GroupsPrefixAndNest)
+{
+    StatsRegistry registry;
+    StatsGroup gpu = registry.group("gpu");
+    StatsGroup l2 = gpu.group("l2");
+    Scalar &misses = l2.scalar("misses");
+    ++misses;
+    const Stat *found = registry.find("gpu.l2.misses");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->value(), 1.0);
+    EXPECT_EQ(registry.find("gpu.l2.nope"), nullptr);
+}
+
+TEST(Stats, VisitAndDumpFilterByGlob)
+{
+    StatsRegistry registry;
+    registry.scalar("gpu.l2.misses") += 2.0;
+    registry.scalar("gpu.l2.hits") += 8.0;
+    registry.scalar("gpu.dram.accesses") += 5.0;
+
+    std::vector<std::string> names;
+    registry.visit([&](const Stat &s) { names.push_back(s.name()); },
+                   "gpu.l2.*");
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "gpu.l2.hits") << "visit order is sorted";
+    EXPECT_EQ(names[1], "gpu.l2.misses");
+
+    std::ostringstream os;
+    registry.dump(os, "gpu.dram.*");
+    EXPECT_NE(os.str().find("accesses"), std::string::npos);
+    EXPECT_EQ(os.str().find("misses"), std::string::npos);
+}

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.hh"
+
+using namespace msim;
+using namespace msim::workloads;
+
+namespace
+{
+
+bool
+drawsEqual(const gfx::DrawCall &a, const gfx::DrawCall &b)
+{
+    return a.meshId == b.meshId && a.vsId == b.vsId &&
+           a.fsId == b.fsId && a.textureId == b.textureId &&
+           a.transparent == b.transparent && a.x == b.x && a.y == b.y &&
+           a.depth == b.depth && a.scale == b.scale &&
+           a.rotation == b.rotation;
+}
+
+} // namespace
+
+TEST(Workloads, TableIiListsEightBenchmarks)
+{
+    const std::vector<std::string> &names = benchmarkNames();
+    ASSERT_EQ(names.size(), 8u);
+    const std::vector<std::string> expected = {
+        "asp", "bbr1", "bbr2", "hcr", "hwh", "jjo", "pvz", "spd"};
+    EXPECT_EQ(names, expected);
+}
+
+TEST(Workloads, EveryBenchmarkComposesAndValidates)
+{
+    for (const std::string &alias : benchmarkNames()) {
+        const GameSpec spec = benchmarkSpec(alias);
+        EXPECT_GE(spec.frames, 2000u) << alias;
+        const gfx::SceneTrace scene = buildBenchmark(alias, 1.0, 32);
+        EXPECT_EQ(scene.numFrames(), 32u) << alias;
+        EXPECT_EQ(scene.validate(), "") << alias;
+        EXPECT_GT(scene.frames[0].draws.size(), 0u) << alias;
+        EXPECT_EQ(scene.numVertexShaders(),
+                  static_cast<std::size_t>(spec.numVertexShaders))
+            << alias;
+        EXPECT_EQ(scene.numFragmentShaders(),
+                  static_cast<std::size_t>(spec.numFragmentShaders))
+            << alias;
+    }
+}
+
+/**
+ * Truncated builds must be an exact prefix of longer builds: fig5/fig6
+ * results at 900 frames and MEGSIM_FRAME_LIMIT runs stay consistent
+ * with the full sequences.
+ */
+TEST(Workloads, TruncationIsPrefixStable)
+{
+    const gfx::SceneTrace shortRun = buildBenchmark("bbr1", 1.0, 16);
+    const gfx::SceneTrace longRun = buildBenchmark("bbr1", 1.0, 64);
+    ASSERT_EQ(shortRun.numFrames(), 16u);
+    ASSERT_EQ(longRun.numFrames(), 64u);
+    EXPECT_NE(shortRun.contentHash(), longRun.contentHash());
+
+    for (std::size_t f = 0; f < shortRun.numFrames(); ++f) {
+        const auto &a = shortRun.frames[f].draws;
+        const auto &b = longRun.frames[f].draws;
+        ASSERT_EQ(a.size(), b.size()) << "frame " << f;
+        for (std::size_t d = 0; d < a.size(); ++d)
+            ASSERT_TRUE(drawsEqual(a[d], b[d]))
+                << "frame " << f << " draw " << d;
+    }
+}
+
+TEST(Workloads, CompositionIsDeterministic)
+{
+    const gfx::SceneTrace a = buildBenchmark("spd", 1.0, 8);
+    const gfx::SceneTrace b = buildBenchmark("spd", 1.0, 8);
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(Workloads, ScaleThinsSpritePopulations)
+{
+    const gfx::SceneTrace full = buildBenchmark("pvz", 1.0, 8);
+    const gfx::SceneTrace thin = buildBenchmark("pvz", 0.25, 8);
+    std::size_t fullDraws = 0, thinDraws = 0;
+    for (std::size_t f = 0; f < 8; ++f) {
+        fullDraws += full.frames[f].draws.size();
+        thinDraws += thin.frames[f].draws.size();
+    }
+    EXPECT_LT(thinDraws, fullDraws);
+    EXPECT_GT(thinDraws, 0u);
+}
+
+TEST(Workloads, UnknownAliasIsFatal)
+{
+    EXPECT_DEATH(benchmarkSpec("doom"), "doom");
+}
+
+TEST(Workloads, DrawOrderPutsBackdropsFirstAndOverlaysLast)
+{
+    // Draws are grouped Backdrop -> Sprite -> Overlay (painter's
+    // order between bands; sprites rely on the depth test).
+    const gfx::SceneTrace scene = buildBenchmark("hcr", 1.0, 4);
+    for (const gfx::FrameTrace &frame : scene.frames) {
+        ASSERT_GE(frame.draws.size(), 2u);
+        EXPECT_GT(frame.draws.front().depth, 0.9f)
+            << "frame " << frame.index << " must start with a backdrop";
+        EXPECT_LT(frame.draws.back().depth, 0.2f)
+            << "frame " << frame.index << " must end with an overlay";
+    }
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * megsim-cli: command-line access to the observability layer.
+ *
+ *   megsim-cli stats [--bench ALIAS] [--frame N] [--filter GLOB]
+ *       Simulate one frame and dump the hierarchical stats registry
+ *       (the exact counters FrameStats and the estimator read).
+ *
+ *   megsim-cli trace [--bench ALIAS] [--frames A:B] [--out PATH]
+ *                    [--csv PATH]
+ *       Simulate a frame range with tracing enabled and export the
+ *       events as Chrome trace_event JSON (chrome://tracing /
+ *       Perfetto) and/or CSV.
+ *
+ * Common options: --scale S (workload complexity), --baseline (use
+ * the full Table I GPU instead of the scaled evaluation profile).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "gpusim/timing_simulator.hh"
+#include "obs/trace_export.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace msim;
+
+struct Options
+{
+    std::string command;
+    std::string bench = "bbr1";
+    std::string filter = "*";
+    std::string out = "trace.json";
+    std::string csv;
+    std::size_t frameBegin = 0;
+    std::size_t frameEnd = 1;
+    double scale = 1.0;
+    bool baseline = false;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s stats [--bench ALIAS] [--frame N] [--filter GLOB]\n"
+        "       %s trace [--bench ALIAS] [--frames A:B] [--out PATH]"
+        " [--csv PATH]\n"
+        "options: --scale S, --baseline\n"
+        "benches:",
+        argv0, argv0);
+    for (const std::string &alias : workloads::benchmarkNames())
+        std::fprintf(stderr, " %s", alias.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+}
+
+bool
+parseRange(const char *text, std::size_t &begin, std::size_t &end)
+{
+    const char *colon = std::strchr(text, ':');
+    if (!colon) {
+        begin = static_cast<std::size_t>(std::atoll(text));
+        end = begin + 1;
+        return true;
+    }
+    begin = static_cast<std::size_t>(std::atoll(text));
+    end = static_cast<std::size_t>(std::atoll(colon + 1));
+    return end > begin;
+}
+
+bool
+parse(int argc, char **argv, Options &opt)
+{
+    if (argc < 2)
+        return false;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--bench") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.bench = v;
+        } else if (arg == "--frame" || arg == "--frames") {
+            const char *v = next();
+            if (!v || !parseRange(v, opt.frameBegin, opt.frameEnd))
+                return false;
+        } else if (arg == "--filter") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.filter = v;
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.out = v;
+        } else if (arg == "--csv") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.csv = v;
+        } else if (arg == "--scale") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.scale = std::atof(v);
+        } else if (arg == "--baseline") {
+            opt.baseline = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    return opt.command == "stats" || opt.command == "trace";
+}
+
+int
+runStats(const Options &opt)
+{
+    const gfx::SceneTrace scene = workloads::buildBenchmark(
+        opt.bench, opt.scale, opt.frameBegin + 1);
+    if (opt.frameBegin >= scene.numFrames()) {
+        std::fprintf(stderr, "frame %zu outside the %zu-frame scene\n",
+                     opt.frameBegin, scene.numFrames());
+        return 1;
+    }
+    const gpusim::GpuConfig config =
+        opt.baseline ? gpusim::GpuConfig::baseline()
+                     : gpusim::GpuConfig::evaluationScaled();
+    gpusim::SceneBinding binding(scene);
+    gpusim::TimingSimulator timing(config, binding);
+    const gpusim::FrameStats stats =
+        timing.simulate(scene.frames[opt.frameBegin]);
+
+    std::printf("# %s frame %zu: %llu cycles, ipc %.2f\n",
+                opt.bench.c_str(), opt.frameBegin,
+                static_cast<unsigned long long>(stats.cycles),
+                stats.ipc());
+    timing.stats().dump(std::cout, opt.filter);
+    return 0;
+}
+
+int
+runTrace(const Options &opt)
+{
+    const gfx::SceneTrace scene = workloads::buildBenchmark(
+        opt.bench, opt.scale, opt.frameEnd);
+    if (opt.frameBegin >= scene.numFrames()) {
+        std::fprintf(stderr, "frame %zu outside the %zu-frame scene\n",
+                     opt.frameBegin, scene.numFrames());
+        return 1;
+    }
+    const gpusim::GpuConfig config =
+        opt.baseline ? gpusim::GpuConfig::baseline()
+                     : gpusim::GpuConfig::evaluationScaled();
+
+    obs::ObsConfig obsConfig = obs::ObsConfig::fromEnv();
+    obsConfig.traceEnabled = true;
+
+    gpusim::SceneBinding binding(scene);
+    gpusim::TimingSimulator timing(config, binding, obsConfig);
+    for (std::size_t f = opt.frameBegin;
+         f < opt.frameEnd && f < scene.numFrames(); ++f)
+        timing.simulate(scene.frames[f]);
+
+    const obs::TraceBuffer &buf = timing.trace();
+    if (buf.droppedCount() > 0)
+        std::fprintf(stderr,
+                     "note: ring dropped %llu oldest events; raise "
+                     "MEGSIM_TRACE_CAPACITY to keep them\n",
+                     static_cast<unsigned long long>(
+                         buf.droppedCount()));
+
+    obs::writeChromeTrace(opt.out, buf, config.frequencyMhz);
+    std::printf("wrote %zu events to %s\n", buf.size(),
+                opt.out.c_str());
+    if (!opt.csv.empty()) {
+        obs::writeTraceCsv(opt.csv, buf);
+        std::printf("wrote CSV to %s\n", opt.csv.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parse(argc, argv, opt))
+        return usage(argv[0]);
+    return opt.command == "stats" ? runStats(opt) : runTrace(opt);
+}
