@@ -85,9 +85,17 @@ loadBenchmark(const std::string &alias)
     if (const char *env = std::getenv("MEGSIM_SCALE"))
         scale = std::atof(env);
 
+    auto spec = workloads::findBenchmarkSpec(alias);
+    if (!spec.ok()) {
+        // A typoed alias is an operator mistake, not a simulator bug:
+        // print the did-you-mean message and exit cleanly.
+        std::fprintf(stderr, "%s\n", spec.error().message.c_str());
+        std::exit(2);
+    }
+
     LoadedBenchmark b;
     b.alias = alias;
-    b.spec = workloads::benchmarkSpec(alias);
+    b.spec = *spec;
     b.scene = workloads::buildBenchmark(alias, scale, frame_limit);
     b.data = std::make_unique<megsim::BenchmarkData>(
         b.scene, evalConfig(), cacheDir());

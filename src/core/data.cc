@@ -1,17 +1,102 @@
 #include "core/megsim.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "gpusim/scene_binding.hh"
 #include "gpusim/timing_simulator.hh"
 #include "obs/profile.hh"
+#include "obs/stats.hh"
+#include "resilience/artifact.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/fault.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "util/csv.hh"
 
 namespace msim::megsim
 {
+
+namespace
+{
+
+/** Cache/checkpoint artifact format generation. */
+constexpr const char *kCacheVersion = "v4";
+
+/** MEGSIM_CHECKPOINT=0 disables ground-truth checkpointing. */
+bool
+checkpointingEnabled()
+{
+    const char *env = std::getenv("MEGSIM_CHECKPOINT");
+    return !env || std::string(env) != "0";
+}
+
+void
+createCacheDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        sim::warn("cannot create cache directory '%s': %s",
+                  dir.c_str(), ec.message().c_str());
+}
+
+obs::Scalar &
+regeneratedCounter()
+{
+    return obs::processRegistry().scalar(
+        "resilience.cache.regenerated",
+        "cache artifacts regenerated after corruption");
+}
+
+std::vector<std::string>
+activityHeader(const gfx::SceneTrace &scene)
+{
+    std::vector<std::string> header = {"frame", "primitives",
+                                       "vertices", "fragments"};
+    for (std::size_t c = 0; c < scene.numVertexShaders(); ++c)
+        header.push_back("vs" + std::to_string(c));
+    for (std::size_t c = 0; c < scene.numFragmentShaders(); ++c)
+        header.push_back("fs" + std::to_string(c));
+    return header;
+}
+
+std::vector<double>
+activityToRow(const gpusim::FrameActivity &act)
+{
+    std::vector<double> row = {
+        static_cast<double>(act.frameIndex),
+        static_cast<double>(act.primitives),
+        static_cast<double>(act.verticesShaded),
+        static_cast<double>(act.fragmentsShaded),
+    };
+    for (std::uint64_t v : act.vsCounts)
+        row.push_back(static_cast<double>(v));
+    for (std::uint64_t v : act.fsCounts)
+        row.push_back(static_cast<double>(v));
+    return row;
+}
+
+gpusim::FrameActivity
+activityFromRow(const std::vector<double> &row, std::size_t vs,
+                std::size_t fs)
+{
+    gpusim::FrameActivity act;
+    act.frameIndex = static_cast<std::uint32_t>(row[0]);
+    act.primitives = static_cast<std::uint64_t>(row[1]);
+    act.verticesShaded = static_cast<std::uint64_t>(row[2]);
+    act.fragmentsShaded = static_cast<std::uint64_t>(row[3]);
+    for (std::size_t c = 0; c < vs; ++c)
+        act.vsCounts.push_back(
+            static_cast<std::uint64_t>(row[4 + c]));
+    for (std::size_t c = 0; c < fs; ++c)
+        act.fsCounts.push_back(
+            static_cast<std::uint64_t>(row[4 + vs + c]));
+    return act;
+}
+
+} // namespace
 
 BenchmarkData::BenchmarkData(const gfx::SceneTrace &scene,
                              const gpusim::GpuConfig &config,
@@ -22,23 +107,35 @@ BenchmarkData::BenchmarkData(const gfx::SceneTrace &scene,
 {}
 
 std::string
-BenchmarkData::cachePath(const char *kind) const
+BenchmarkData::cachePath(const std::string &kind) const
 {
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "/%s_%zu_v3_%016llx_%s.csv",
-                  scene_->name.empty() ? "scene"
-                                       : scene_->name.c_str(),
-                  scene_->numFrames(),
-                  static_cast<unsigned long long>(key_), kind);
-    return cacheDir_ + buf;
+    return checkpointStem() + "_" + kind + ".csv";
+}
+
+std::string
+BenchmarkData::checkpointStem() const
+{
+    char keyHex[24];
+    std::snprintf(keyHex, sizeof(keyHex), "%016llx",
+                  static_cast<unsigned long long>(key_));
+    const std::string name =
+        scene_->name.empty() ? "scene" : scene_->name;
+    return cacheDir_ + "/" + name + "_" +
+           std::to_string(scene_->numFrames()) + "_" + kCacheVersion +
+           "_" + keyHex;
 }
 
 bool
 BenchmarkData::loadActivityCache()
 {
-    util::CsvTable table;
-    if (!util::readCsv(cachePath("activity"), table))
+    auto loaded = resilience::readCsvArtifact(cachePath("activity"),
+                                              key_, "activity");
+    if (!loaded.ok()) {
+        if (loaded.error().code != resilience::Errc::NotFound)
+            ++regeneratedCounter();
         return false;
+    }
+    const util::CsvTable &table = *loaded;
     const std::size_t vs = scene_->numVertexShaders();
     const std::size_t fs = scene_->numFragmentShaders();
     if (table.header.size() != 4 + vs + fs ||
@@ -47,20 +144,8 @@ BenchmarkData::loadActivityCache()
 
     activities_.clear();
     activities_.reserve(table.rows.size());
-    for (const std::vector<double> &row : table.rows) {
-        gpusim::FrameActivity act;
-        act.frameIndex = static_cast<std::uint32_t>(row[0]);
-        act.primitives = static_cast<std::uint64_t>(row[1]);
-        act.verticesShaded = static_cast<std::uint64_t>(row[2]);
-        act.fragmentsShaded = static_cast<std::uint64_t>(row[3]);
-        for (std::size_t c = 0; c < vs; ++c)
-            act.vsCounts.push_back(
-                static_cast<std::uint64_t>(row[4 + c]));
-        for (std::size_t c = 0; c < fs; ++c)
-            act.fsCounts.push_back(
-                static_cast<std::uint64_t>(row[4 + vs + c]));
-        activities_.push_back(std::move(act));
-    }
+    for (const std::vector<double> &row : table.rows)
+        activities_.push_back(activityFromRow(row, vs, fs));
     return true;
 }
 
@@ -68,33 +153,24 @@ void
 BenchmarkData::storeActivityCache() const
 {
     util::CsvTable table;
-    table.header = {"frame", "primitives", "vertices", "fragments"};
-    for (std::size_t c = 0; c < scene_->numVertexShaders(); ++c)
-        table.header.push_back("vs" + std::to_string(c));
-    for (std::size_t c = 0; c < scene_->numFragmentShaders(); ++c)
-        table.header.push_back("fs" + std::to_string(c));
-    for (const gpusim::FrameActivity &act : activities_) {
-        std::vector<double> row = {
-            static_cast<double>(act.frameIndex),
-            static_cast<double>(act.primitives),
-            static_cast<double>(act.verticesShaded),
-            static_cast<double>(act.fragmentsShaded),
-        };
-        for (std::uint64_t v : act.vsCounts)
-            row.push_back(static_cast<double>(v));
-        for (std::uint64_t v : act.fsCounts)
-            row.push_back(static_cast<double>(v));
-        table.rows.push_back(std::move(row));
-    }
-    util::writeCsv(cachePath("activity"), table);
+    table.header = activityHeader(*scene_);
+    for (const gpusim::FrameActivity &act : activities_)
+        table.rows.push_back(activityToRow(act));
+    (void)resilience::writeCsvArtifact(cachePath("activity"), table,
+                                       key_, "activity");
 }
 
 bool
 BenchmarkData::loadStatsCache()
 {
-    util::CsvTable table;
-    if (!util::readCsv(cachePath("stats"), table))
+    auto loaded =
+        resilience::readCsvArtifact(cachePath("stats"), key_, "stats");
+    if (!loaded.ok()) {
+        if (loaded.error().code != resilience::Errc::NotFound)
+            ++regeneratedCounter();
         return false;
+    }
+    const util::CsvTable &table = *loaded;
     if (table.header != gpusim::FrameStats::csvHeader() ||
         table.rows.size() != scene_->numFrames())
         return false;
@@ -112,7 +188,8 @@ BenchmarkData::storeStatsCache() const
     table.header = gpusim::FrameStats::csvHeader();
     for (const gpusim::FrameStats &s : stats_)
         table.rows.push_back(s.toCsvRow());
-    util::writeCsv(cachePath("stats"), table);
+    (void)resilience::writeCsvArtifact(cachePath("stats"), table, key_,
+                                       "stats");
 }
 
 const std::vector<gpusim::FrameActivity> &
@@ -140,8 +217,7 @@ BenchmarkData::activities()
     heartbeat.finish();
     haveActivities_ = true;
     if (!cacheDir_.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(cacheDir_, ec);
+        createCacheDir(cacheDir_);
         storeActivityCache();
     }
     return activities_;
@@ -158,21 +234,50 @@ BenchmarkData::frameStats()
     }
 
     // The expensive pass: cycle-level simulation of every frame. The
-    // functional activities fall out of the same pass for free.
+    // functional activities fall out of the same pass for free. The
+    // pass checkpoints after every frame so a killed run resumes from
+    // the last completed frame; frames simulate cold/independent, so
+    // a resumed run is identical to an uninterrupted one.
     obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
                                      "ground-truth");
+    const std::size_t total = scene_->numFrames();
+    const std::size_t vs = scene_->numVertexShaders();
+    const std::size_t fs = scene_->numFragmentShaders();
+
+    std::unique_ptr<resilience::Checkpoint> ckpt;
+    std::size_t start = 0;
+    stats_.clear();
+    std::vector<gpusim::FrameActivity> acts;
+    if (!cacheDir_.empty() && checkpointingEnabled()) {
+        createCacheDir(cacheDir_);
+        ckpt = std::make_unique<resilience::Checkpoint>(
+            checkpointStem(), key_, total,
+            gpusim::FrameStats::csvHeader().size(), 4 + vs + fs);
+        start = ckpt->resume();
+        stats_.reserve(total);
+        acts.reserve(total);
+        for (std::size_t f = 0; f < start; ++f) {
+            stats_.push_back(gpusim::FrameStats::fromCsvRow(
+                ckpt->statsRows()[f]));
+            acts.push_back(
+                activityFromRow(ckpt->activityRows()[f], vs, fs));
+        }
+    } else {
+        stats_.reserve(total);
+        acts.reserve(total);
+    }
+
     gpusim::SceneBinding binding(*scene_);
     gpusim::TimingSimulator timing(config_, binding);
-    stats_.clear();
-    stats_.reserve(scene_->numFrames());
-    std::vector<gpusim::FrameActivity> acts;
-    acts.reserve(scene_->numFrames());
-    obs::Heartbeat heartbeat(scene_->numFrames(),
-                             "ground truth " + scene_->name);
-    for (const gfx::FrameTrace &frame : scene_->frames) {
+    obs::Heartbeat heartbeat(total, "ground truth " + scene_->name);
+    for (std::size_t f = start; f < total; ++f) {
         gpusim::FrameActivity act;
-        stats_.push_back(timing.simulate(frame, &act));
+        stats_.push_back(timing.simulate(scene_->frames[f], &act));
         acts.push_back(std::move(act));
+        if (ckpt)
+            ckpt->append(stats_.back().toCsvRow(),
+                         activityToRow(acts.back()));
+        resilience::FaultInjector::global().maybeKillAfterFrame(f);
         heartbeat.tick(stats_.size());
     }
     heartbeat.finish();
@@ -182,11 +287,12 @@ BenchmarkData::frameStats()
         haveActivities_ = true;
     }
     if (!cacheDir_.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(cacheDir_, ec);
+        createCacheDir(cacheDir_);
         storeStatsCache();
         storeActivityCache();
     }
+    if (ckpt)
+        ckpt->discard();
     return stats_;
 }
 

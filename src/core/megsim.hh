@@ -194,6 +194,21 @@ RepresentativeSet representativeSet(const FeatureMatrix &features,
                                     const KMeansResult &clustering);
 
 /**
+ * Every cluster's members ordered closest-to-centroid first — the
+ * fallback chain graceful degradation walks when a representative
+ * frame fails or times out. members[c][0] is exactly the frame
+ * representativeSet() picks.
+ */
+struct RankedClusters
+{
+    std::vector<std::vector<std::size_t>> members;
+    std::vector<double> weights; // cluster populations
+};
+
+RankedClusters rankClusterMembers(const FeatureMatrix &features,
+                                  const KMeansResult &clustering);
+
+/**
  * Pairwise Euclidean frame distances (the Fig. 5 similarity matrix;
  * darker = more similar in the exported plots).
  */
@@ -277,8 +292,17 @@ class BenchmarkData
     /** One ground-truth metric value per frame. */
     std::vector<double> metric(gpusim::Metric metric);
 
+    /**
+     * On-disk path of the @p kind ("activity" / "stats") cache
+     * artifact; also what `megsim-cli verify-cache` inspects.
+     */
+    std::string cachePath(const std::string &kind) const;
+
+    /** Scene/config fingerprint keying caches and checkpoints. */
+    std::uint64_t cacheKey() const { return key_; }
+
   private:
-    std::string cachePath(const char *kind) const;
+    std::string checkpointStem() const;
     bool loadActivityCache();
     void storeActivityCache() const;
     bool loadStatsCache();
@@ -328,6 +352,12 @@ class MegsimPipeline
 
     /** Normalized characteristic vectors (Fig. 5 inputs). */
     const FeatureMatrix &features();
+
+    /** Projected vectors clustering runs on (Sec. III-E). */
+    const FeatureMatrix &projectedFeatures();
+
+    /** The benchmark data this pipeline reduces. */
+    BenchmarkData &data() { return *data_; }
 
     /**
      * Select representatives. @p seed overrides the k-means seed (0

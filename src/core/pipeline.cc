@@ -37,15 +37,22 @@ MegsimPipeline::features()
     return normalized_;
 }
 
+const FeatureMatrix &
+MegsimPipeline::projectedFeatures()
+{
+    if (!haveProjected_) {
+        projected_ = randomProject(features(), config_.projectedDims);
+        haveProjected_ = true;
+    }
+    return projected_;
+}
+
 MegsimRun
 MegsimPipeline::run(std::uint64_t seed)
 {
     obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
                                      "clustering");
-    if (!haveProjected_) {
-        projected_ = randomProject(features(), config_.projectedDims);
-        haveProjected_ = true;
-    }
+    projectedFeatures();
 
     SelectorConfig selector = config_.selector;
     if (seed != 0)

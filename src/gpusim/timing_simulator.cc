@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "gpusim/power.hh"
+#include "obs/profile.hh"
 
 namespace msim::gpusim
 {
@@ -104,6 +105,8 @@ TimingSimulator::TimingSimulator(const GpuConfig &config,
     frameStallCycles_ = &frame.scalar(
         "stall_cycles", "total queue backpressure cycles");
     framesSimulated_ = &frame.scalar("index", "frame index simulated");
+    frameWallSeconds_ = &frame.scalar(
+        "wall_seconds", "host wall-clock time simulating the frame");
     frame.formula(
         "ipc",
         [this] {
@@ -168,6 +171,7 @@ TimingSimulator::simulate(const gfx::FrameTrace &frame,
 FrameStats
 TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
 {
+    const double wallStart = obs::wallSeconds();
     const gfx::SceneTrace &scene = binding_->scene();
     frameIndex_ = ir.frameIndex;
 
@@ -551,6 +555,8 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
     trace_.emit("frame", obs::TraceCategory::Frame, frameIndex_, 0,
                 clock, ir.primitives());
 
+    lastFrameWall_ = obs::wallSeconds() - wallStart;
+    frameWallSeconds_->set(lastFrameWall_);
     return harvest(ir.frameIndex, clock);
 }
 

@@ -114,6 +114,10 @@ class TimingSimulator
     obs::StatsRegistry &stats() { return registry_; }
     obs::TraceBuffer &trace() { return trace_; }
 
+    /** Host wall-clock seconds the last simulate() call took — what
+     *  the resilience watchdog compares against its budget. */
+    double lastFrameWallSeconds() const { return lastFrameWall_; }
+
   private:
     struct StageSpan
     {
@@ -196,6 +200,8 @@ class TimingSimulator
     obs::Scalar *frameCycles_;
     obs::Scalar *frameStallCycles_;
     obs::Scalar *framesSimulated_;
+    obs::Scalar *frameWallSeconds_;
+    double lastFrameWall_ = 0.0;
 
     // Column maps for FrameActivity output.
     std::vector<std::uint32_t> shaderColumn_;

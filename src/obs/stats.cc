@@ -202,4 +202,11 @@ StatsRegistry::dump(std::ostream &os, const std::string &glob) const
         glob);
 }
 
+StatsRegistry &
+processRegistry()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
 } // namespace msim::obs

@@ -236,6 +236,13 @@ class StatsRegistry
     std::map<std::string, std::unique_ptr<Stat>> stats_;
 };
 
+/**
+ * Process-wide registry for cross-cutting counters that outlive any
+ * one simulator instance — fault injections, cache corruption
+ * detections, checkpoint resumes, degradation events. Never reset.
+ */
+StatsRegistry &processRegistry();
+
 /** Convenience handle carrying a `unit.` prefix into a registry. */
 class StatsGroup
 {

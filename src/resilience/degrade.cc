@@ -1,0 +1,146 @@
+#include "resilience/degrade.hh"
+
+#include <cstdlib>
+
+#include "obs/profile.hh"
+#include "obs/stats.hh"
+#include "resilience/fault.hh"
+#include "sim/logging.hh"
+
+namespace msim::resilience
+{
+
+namespace
+{
+
+obs::Scalar &
+counter(const char *name, const char *desc)
+{
+    return obs::processRegistry().scalar(
+        std::string("resilience.degrade.") + name, desc);
+}
+
+} // namespace
+
+WatchdogConfig
+WatchdogConfig::fromEnv()
+{
+    WatchdogConfig config;
+    if (const char *env = std::getenv("MEGSIM_FRAME_BUDGET_MS"))
+        config.wallBudgetSeconds = std::atof(env) / 1000.0;
+    if (const char *env = std::getenv("MEGSIM_FRAME_CYCLE_BUDGET"))
+        config.cycleBudget =
+            static_cast<std::uint64_t>(std::atoll(env));
+    return config;
+}
+
+GuardedFrameSimulator::GuardedFrameSimulator(
+    const gfx::SceneTrace &scene, const gpusim::GpuConfig &config,
+    WatchdogConfig watchdog)
+    : scene_(&scene), binding_(scene), timing_(config, binding_),
+      watchdog_(watchdog)
+{}
+
+Expected<gpusim::FrameStats>
+GuardedFrameSimulator::simulate(std::size_t frameIndex)
+{
+    if (frameIndex >= scene_->numFrames())
+        return errorf(Errc::BadFormat,
+                      "frame %zu outside the %zu-frame scene",
+                      frameIndex, scene_->numFrames());
+    if (FaultInjector::global().hangFrame(frameIndex))
+        return errorf(Errc::FrameTimeout,
+                      "frame %zu hung (injected)", frameIndex);
+
+    const gpusim::FrameStats stats =
+        timing_.simulate(scene_->frames[frameIndex]);
+    if (watchdog_.wallBudgetSeconds > 0.0 &&
+        timing_.lastFrameWallSeconds() > watchdog_.wallBudgetSeconds)
+        return errorf(Errc::FrameTimeout,
+                      "frame %zu took %.3fs, budget %.3fs", frameIndex,
+                      timing_.lastFrameWallSeconds(),
+                      watchdog_.wallBudgetSeconds);
+    if (watchdog_.cycleBudget > 0 && stats.cycles > watchdog_.cycleBudget)
+        return errorf(Errc::FrameTimeout,
+                      "frame %zu ran %llu cycles, budget %llu",
+                      frameIndex,
+                      static_cast<unsigned long long>(stats.cycles),
+                      static_cast<unsigned long long>(
+                          watchdog_.cycleBudget));
+    return stats;
+}
+
+Expected<ResilientEstimate>
+estimateWithDegradation(
+    const megsim::RankedClusters &ranked, gpusim::Metric metric,
+    const std::function<Expected<gpusim::FrameStats>(std::size_t)>
+        &simulateFrame)
+{
+    ResilientEstimate estimate;
+    for (std::size_t cl = 0; cl < ranked.members.size(); ++cl) {
+        bool served = false;
+        for (std::size_t rank = 0; rank < ranked.members[cl].size();
+             ++rank) {
+            const std::size_t frame = ranked.members[cl][rank];
+            auto stats = simulateFrame(frame);
+            if (!stats.ok()) {
+                ++estimate.report.quarantined;
+                estimate.report.quarantinedFrames.push_back(frame);
+                ++counter("quarantined",
+                          "representative frames quarantined");
+                sim::warn("frame %zu quarantined (%s): %s", frame,
+                          errcName(stats.error().code),
+                          stats.error().message.c_str());
+                continue;
+            }
+            ++estimate.report.simulated;
+            if (rank > 0) {
+                ++estimate.report.fallbacks;
+                ++counter("fallbacks",
+                          "clusters served by a fallback member");
+                sim::inform("cluster %zu degraded to its rank-%zu "
+                            "member (frame %zu)",
+                            cl, rank, frame);
+            }
+            estimate.total += ranked.weights[cl] *
+                              gpusim::metricValue(*stats, metric);
+            estimate.frames.push_back(frame);
+            estimate.weights.push_back(ranked.weights[cl]);
+            ++estimate.report.clusters;
+            served = true;
+            break;
+        }
+        if (!served && !ranked.members[cl].empty()) {
+            ++estimate.report.exhausted;
+            ++counter("exhausted_clusters",
+                      "clusters with no usable member");
+            sim::warn("cluster %zu exhausted all %zu members; dropped "
+                      "from the estimate",
+                      cl, ranked.members[cl].size());
+        }
+    }
+    if (estimate.frames.empty())
+        return errorf(Errc::Exhausted,
+                      "every cluster exhausted its members; no "
+                      "estimate possible");
+    return estimate;
+}
+
+Expected<ResilientEstimate>
+estimateResilient(megsim::MegsimPipeline &pipeline,
+                  const megsim::MegsimRun &run, gpusim::Metric metric,
+                  const WatchdogConfig &watchdog)
+{
+    obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
+                                     "representatives");
+    const megsim::RankedClusters ranked = megsim::rankClusterMembers(
+        pipeline.projectedFeatures(), run.selection.chosen());
+    GuardedFrameSimulator sim(pipeline.data().scene(),
+                              pipeline.data().config(), watchdog);
+    return estimateWithDegradation(
+        ranked, metric, [&](std::size_t frame) {
+            return sim.simulate(frame);
+        });
+}
+
+} // namespace msim::resilience

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Watchdog-guarded representative simulation with graceful
+ * degradation.
+ *
+ * MEGsim's estimate only needs *a* frame near each cluster centroid.
+ * When a representative frame exceeds its per-frame watchdog budget
+ * (wall-clock or cycles) or fails under fault injection, it is
+ * quarantined and the cluster falls back to the next-closest member;
+ * only a cluster whose every member fails is dropped from the
+ * estimate. All degradation is counted under `resilience.degrade.*`
+ * in the process-wide stats registry.
+ */
+
+#ifndef MSIM_RESILIENCE_DEGRADE_HH
+#define MSIM_RESILIENCE_DEGRADE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/megsim.hh"
+#include "gpusim/timing_simulator.hh"
+#include "resilience/expected.hh"
+
+namespace msim::resilience
+{
+
+/** Per-frame simulation budgets; 0 disables a check. */
+struct WatchdogConfig
+{
+    double wallBudgetSeconds = 0.0;
+    std::uint64_t cycleBudget = 0;
+
+    /**
+     * MEGSIM_FRAME_BUDGET_MS caps per-frame wall time,
+     * MEGSIM_FRAME_CYCLE_BUDGET caps simulated cycles.
+     */
+    static WatchdogConfig fromEnv();
+};
+
+/**
+ * Simulates single frames under a watchdog. A frame targeted by a
+ * `frame.hang` fault, or one that blows a budget, reports
+ * FrameTimeout instead of returning stats.
+ */
+class GuardedFrameSimulator
+{
+  public:
+    GuardedFrameSimulator(const gfx::SceneTrace &scene,
+                          const gpusim::GpuConfig &config,
+                          WatchdogConfig watchdog =
+                              WatchdogConfig::fromEnv());
+
+    Expected<gpusim::FrameStats> simulate(std::size_t frameIndex);
+
+  private:
+    const gfx::SceneTrace *scene_;
+    gpusim::SceneBinding binding_;
+    gpusim::TimingSimulator timing_;
+    WatchdogConfig watchdog_;
+};
+
+struct DegradationReport
+{
+    std::size_t clusters = 0;        // clusters in the estimate
+    std::size_t simulated = 0;       // frames simulated successfully
+    std::size_t quarantined = 0;     // frames that failed
+    std::size_t fallbacks = 0;       // clusters served by a non-first
+                                     // representative
+    std::size_t exhausted = 0;       // clusters with no usable member
+    std::vector<std::size_t> quarantinedFrames;
+
+    bool degraded() const { return quarantined > 0 || exhausted > 0; }
+};
+
+/** A metric estimate that survived (possibly degraded) simulation. */
+struct ResilientEstimate
+{
+    double total = 0.0;
+    std::vector<std::size_t> frames; // representative used per cluster
+    std::vector<double> weights;
+    DegradationReport report;
+};
+
+/**
+ * Estimate the weighted total of @p metric over ranked clusters,
+ * falling back within each cluster as frames fail. Errors only when
+ * every cluster is exhausted.
+ */
+Expected<ResilientEstimate> estimateWithDegradation(
+    const megsim::RankedClusters &ranked, gpusim::Metric metric,
+    const std::function<Expected<gpusim::FrameStats>(std::size_t)>
+        &simulateFrame);
+
+/**
+ * Convenience driver: run the full degradation-aware representative
+ * pass for an already-clustered @p run of @p pipeline.
+ */
+Expected<ResilientEstimate> estimateResilient(
+    megsim::MegsimPipeline &pipeline, const megsim::MegsimRun &run,
+    gpusim::Metric metric,
+    const WatchdogConfig &watchdog = WatchdogConfig::fromEnv());
+
+} // namespace msim::resilience
+
+#endif // MSIM_RESILIENCE_DEGRADE_HH

@@ -1,0 +1,36 @@
+#include "resilience/expected.hh"
+
+namespace msim::resilience
+{
+
+const char *
+errcName(Errc code)
+{
+    switch (code) {
+      case Errc::Io: return "io";
+      case Errc::NotFound: return "not-found";
+      case Errc::Truncated: return "truncated";
+      case Errc::BadVersion: return "bad-version";
+      case Errc::BadFingerprint: return "bad-fingerprint";
+      case Errc::BadChecksum: return "bad-checksum";
+      case Errc::BadFormat: return "bad-format";
+      case Errc::UnknownAlias: return "unknown-alias";
+      case Errc::FrameTimeout: return "frame-timeout";
+      case Errc::Exhausted: return "exhausted";
+      case Errc::Injected: return "injected";
+    }
+    return "?";
+}
+
+Error
+errorf(Errc code, const char *fmt, ...)
+{
+    char buf[512];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return Error{code, buf};
+}
+
+} // namespace msim::resilience

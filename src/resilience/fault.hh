@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising recovery paths.
+ *
+ * Faults are described by the MEGSIM_FAULTS environment variable: a
+ * `;`-separated list of clauses, each `class[:key=value[,key=value]]`.
+ *
+ *   class          keys                  effect
+ *   io.read        p, seed, path         file reads fail
+ *   io.write       p, seed, path         file writes fail
+ *   cache.corrupt  p, seed, kind         cache artifact loads report
+ *                                        a checksum mismatch
+ *   frame.hang     frame | p, seed       a frame blows its watchdog
+ *                                        budget (simulated timeout)
+ *   run.kill       frame                 raise(SIGKILL) right after
+ *                                        frame N is checkpointed
+ *
+ * `p` is an independent per-site probability (default 1), `seed` makes
+ * the dice deterministic (default 1), `path`/`kind` are substring
+ * filters. Injections are counted in the process-wide stats registry
+ * under `resilience.faults.*`.
+ */
+
+#ifndef MSIM_RESILIENCE_FAULT_HH
+#define MSIM_RESILIENCE_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resilience/expected.hh"
+#include "sim/random.hh"
+
+namespace msim::resilience
+{
+
+enum class FaultClass {
+    IoRead,
+    IoWrite,
+    CacheCorrupt,
+    FrameHang,
+    RunKill,
+};
+
+const char *faultClassName(FaultClass cls);
+
+struct FaultClause
+{
+    FaultClass cls = FaultClass::IoRead;
+    double probability = 1.0;
+    std::uint64_t seed = 1;
+    std::string match;                  // path/kind substring, "" = any
+    std::uint64_t frame = ~0ULL;        // frame.hang / run.kill target
+};
+
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** Parse a MEGSIM_FAULTS spec; empty spec = no faults. */
+    static Expected<FaultInjector> parse(const std::string &spec);
+
+    /** Process-wide injector, parsed from MEGSIM_FAULTS on first use. */
+    static FaultInjector &global();
+
+    /**
+     * Replace the global injector's spec (tests, tools). Warns and
+     * arms nothing when the spec does not parse.
+     */
+    static void setGlobalSpec(const std::string &spec);
+
+    bool enabled() const { return !armed_.empty(); }
+    std::size_t clauseCount() const { return armed_.size(); }
+
+    /** Should a read of @p path fail right now? */
+    bool failRead(const std::string &path);
+
+    /** Should a write of @p path fail right now? */
+    bool failWrite(const std::string &path);
+
+    /** Should a cache artifact of @p kind load as corrupted? */
+    bool corruptCache(const std::string &kind);
+
+    /** Should @p frame be treated as hung (watchdog timeout)? */
+    bool hangFrame(std::uint64_t frame);
+
+    /** Die (SIGKILL) if a run.kill clause targets @p frame. */
+    void maybeKillAfterFrame(std::uint64_t frame);
+
+  private:
+    struct Armed
+    {
+        FaultClause clause;
+        sim::Rng rng;
+
+        explicit Armed(const FaultClause &c)
+            : clause(c), rng(c.seed)
+        {}
+    };
+
+    bool roll(Armed &armed, const std::string &subject);
+
+    std::vector<Armed> armed_;
+};
+
+} // namespace msim::resilience
+
+#endif // MSIM_RESILIENCE_FAULT_HH

@@ -9,39 +9,37 @@
 namespace msim::util
 {
 
-void
-writeCsv(const std::string &path, const CsvTable &table)
+std::string
+csvToString(const CsvTable &table)
 {
-    std::ofstream out(path);
-    if (!out)
-        sim::fatal("cannot write CSV file '%s'", path.c_str());
-    for (std::size_t c = 0; c < table.header.size(); ++c)
-        out << (c ? "," : "") << table.header[c];
-    out << '\n';
+    std::string out;
+    for (std::size_t c = 0; c < table.header.size(); ++c) {
+        if (c)
+            out += ',';
+        out += table.header[c];
+    }
+    out += '\n';
     char buf[64];
     for (const auto &row : table.rows) {
         for (std::size_t c = 0; c < row.size(); ++c) {
             // %.17g round-trips doubles exactly; counters print short.
             std::snprintf(buf, sizeof(buf), "%.17g", row[c]);
             if (c)
-                out << ',';
-            out << buf;
+                out += ',';
+            out += buf;
         }
-        out << '\n';
+        out += '\n';
     }
-    if (!out)
-        sim::fatal("error writing CSV file '%s'", path.c_str());
+    return out;
 }
 
 bool
-readCsv(const std::string &path, CsvTable &table)
+csvFromString(const std::string &text, CsvTable &table)
 {
-    std::ifstream in(path);
-    if (!in)
-        return false;
     table.header.clear();
     table.rows.clear();
 
+    std::stringstream in(text);
     std::string line;
     if (!std::getline(in, line))
         return false;
@@ -63,6 +61,30 @@ readCsv(const std::string &path, CsvTable &table)
         table.rows.push_back(std::move(row));
     }
     return true;
+}
+
+void
+writeCsv(const std::string &path, const CsvTable &table)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("cannot write CSV file '%s'", path.c_str());
+    out << csvToString(table);
+    if (!out)
+        sim::fatal("error writing CSV file '%s'", path.c_str());
+}
+
+bool
+readCsv(const std::string &path, CsvTable &table)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream content;
+    content << in.rdbuf();
+    if (in.bad())
+        return false;
+    return csvFromString(content.str(), table);
 }
 
 } // namespace msim::util

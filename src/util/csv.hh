@@ -20,6 +20,12 @@ struct CsvTable
     std::vector<std::vector<double>> rows;
 };
 
+/** Serialize @p table to CSV text (header line + %.17g rows). */
+std::string csvToString(const CsvTable &table);
+
+/** Parse CSV text produced by csvToString. False on ragged rows. */
+bool csvFromString(const std::string &text, CsvTable &table);
+
 /** Write @p table to @p path; fatal on I/O failure. */
 void writeCsv(const std::string &path, const CsvTable &table);
 

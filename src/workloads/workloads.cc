@@ -317,8 +317,33 @@ benchmarkNames()
     return names;
 }
 
-GameSpec
-benchmarkSpec(const std::string &alias)
+namespace
+{
+
+/** Classic dynamic-programming edit distance, for did-you-mean. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+resilience::Expected<GameSpec>
+findBenchmarkSpec(const std::string &alias)
 {
     if (alias == "asp")
         return aspSpec();
@@ -336,7 +361,48 @@ benchmarkSpec(const std::string &alias)
         return pvzSpec();
     if (alias == "spd")
         return spdSpec();
-    sim::fatal("unknown benchmark alias '%s'", alias.c_str());
+
+    std::string closest;
+    std::size_t closestDistance = 3; // suggest only near misses
+    std::string valid;
+    for (const std::string &name : benchmarkNames()) {
+        const std::size_t d = editDistance(alias, name);
+        if (d < closestDistance) {
+            closestDistance = d;
+            closest = name;
+        }
+        if (!valid.empty())
+            valid += ' ';
+        valid += name;
+    }
+    std::string message =
+        "unknown benchmark alias '" + alias + "'";
+    if (!closest.empty())
+        message += " (did you mean '" + closest + "'?)";
+    message += "; valid aliases: " + valid;
+    return resilience::Error{resilience::Errc::UnknownAlias,
+                             std::move(message)};
+}
+
+GameSpec
+benchmarkSpec(const std::string &alias)
+{
+    auto spec = findBenchmarkSpec(alias);
+    if (!spec.ok())
+        sim::fatal("%s", spec.error().message.c_str());
+    return *spec;
+}
+
+resilience::Expected<gfx::SceneTrace>
+tryBuildBenchmark(const std::string &alias, double scale,
+                  std::size_t frames)
+{
+    auto spec = findBenchmarkSpec(alias);
+    if (!spec.ok())
+        return spec.error();
+    if (frames != 0 && frames < spec->frames)
+        spec->frames = frames;
+    return SceneComposer(*spec, scale).compose();
 }
 
 gfx::SceneTrace

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "resilience/expected.hh"
 #include "workloads/composer.hh"
 
 namespace msim::workloads
@@ -20,8 +21,21 @@ namespace msim::workloads
 /** Aliases of the evaluated benchmarks, in Table II order. */
 const std::vector<std::string> &benchmarkNames();
 
+/**
+ * The GameSpec behind @p alias. An unknown alias yields an
+ * UnknownAlias error whose message lists the valid aliases and the
+ * closest match (did-you-mean), ready to print as-is.
+ */
+resilience::Expected<GameSpec>
+findBenchmarkSpec(const std::string &alias);
+
 /** The GameSpec behind @p alias; fatal on unknown alias. */
 GameSpec benchmarkSpec(const std::string &alias);
+
+/** buildBenchmark with structured alias errors instead of fatal. */
+resilience::Expected<gfx::SceneTrace>
+tryBuildBenchmark(const std::string &alias, double scale = 1.0,
+                  std::size_t frames = 0);
 
 /**
  * Compose @p alias into a SceneTrace. @p scale thins (<1) or thickens

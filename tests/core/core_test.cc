@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cmath>
 #include <filesystem>
 
@@ -264,4 +265,28 @@ TEST(Sampling, FindsASampleSizeMatchingTheTargetError)
     const std::size_t loose =
         findMatchingSampleCount(values, 10.0, config);
     EXPECT_LE(loose, m) << "looser bound needs no more samples";
+}
+
+TEST(Data, CachePathSurvivesLongSceneNames)
+{
+    // The cache path used to be composed into a fixed 160-byte
+    // buffer; a long scene name silently truncated the key suffix.
+    gfx::SceneTrace scene = workloads::buildBenchmark("hcr", 1.0, 2);
+    scene.name = std::string(200, 'x');
+    const gpusim::GpuConfig config =
+        gpusim::GpuConfig::evaluationScaled();
+    BenchmarkData data(scene, config, "out/cache");
+
+    const std::string stats = data.cachePath("stats");
+    const std::string activity = data.cachePath("activity");
+    EXPECT_NE(stats, activity);
+    EXPECT_NE(stats.find(scene.name), std::string::npos);
+    EXPECT_EQ(stats.substr(stats.size() - 10), "_stats.csv");
+
+    // The 16-hex fingerprint key sits intact before the kind suffix.
+    char keyHex[24];
+    std::snprintf(keyHex, sizeof(keyHex), "%016llx",
+                  static_cast<unsigned long long>(data.cacheKey()));
+    EXPECT_NE(stats.find(std::string("_") + keyHex + "_stats.csv"),
+              std::string::npos);
 }

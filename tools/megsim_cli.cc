@@ -12,6 +12,18 @@
  *       events as Chrome trace_event JSON (chrome://tracing /
  *       Perfetto) and/or CSV.
  *
+ *   megsim-cli resume [--bench ALIAS] [--cache-dir DIR]
+ *       Run (or resume) the checkpointed ground-truth pass for a
+ *       benchmark. A run killed mid-pass picks up from the last
+ *       checkpointed frame; a complete cache returns immediately.
+ *
+ *   megsim-cli verify-cache [--bench ALIAS] [--cache-dir DIR]
+ *                           [--purge]
+ *       Integrity-check the benchmark's cache artifacts (header,
+ *       version, fingerprint, checksum). --purge deletes corrupt
+ *       files so the next run regenerates them. Exits 1 on
+ *       corruption.
+ *
  * Common options: --scale S (workload complexity), --baseline (use
  * the full Table I GPU instead of the scaled evaluation profile).
  */
@@ -19,11 +31,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "core/megsim.hh"
 #include "gpusim/timing_simulator.hh"
+#include "obs/stats.hh"
 #include "obs/trace_export.hh"
+#include "resilience/artifact.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -38,10 +55,12 @@ struct Options
     std::string filter = "*";
     std::string out = "trace.json";
     std::string csv;
+    std::string cacheDir;
     std::size_t frameBegin = 0;
     std::size_t frameEnd = 1;
     double scale = 1.0;
     bool baseline = false;
+    bool purge = false;
 };
 
 int
@@ -52,9 +71,12 @@ usage(const char *argv0)
         "usage: %s stats [--bench ALIAS] [--frame N] [--filter GLOB]\n"
         "       %s trace [--bench ALIAS] [--frames A:B] [--out PATH]"
         " [--csv PATH]\n"
+        "       %s resume [--bench ALIAS] [--cache-dir DIR]\n"
+        "       %s verify-cache [--bench ALIAS] [--cache-dir DIR]"
+        " [--purge]\n"
         "options: --scale S, --baseline\n"
         "benches:",
-        argv0, argv0);
+        argv0, argv0, argv0, argv0);
     for (const std::string &alias : workloads::benchmarkNames())
         std::fprintf(stderr, " %s", alias.c_str());
     std::fprintf(stderr, "\n");
@@ -115,22 +137,120 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.scale = std::atof(v);
+        } else if (arg == "--cache-dir") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.cacheDir = v;
         } else if (arg == "--baseline") {
             opt.baseline = true;
+        } else if (arg == "--purge") {
+            opt.purge = true;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          arg.c_str());
             return false;
         }
     }
-    return opt.command == "stats" || opt.command == "trace";
+    return opt.command == "stats" || opt.command == "trace" ||
+           opt.command == "resume" || opt.command == "verify-cache";
+}
+
+std::string
+resolveCacheDir(const Options &opt)
+{
+    if (!opt.cacheDir.empty())
+        return opt.cacheDir;
+    if (const char *env = std::getenv("MEGSIM_CACHE_DIR"))
+        return env;
+    return "out/cache";
+}
+
+/** Build the scene + BenchmarkData pair shared by resume/verify. */
+bool
+openBenchmarkData(const Options &opt, gfx::SceneTrace &scene,
+                  std::unique_ptr<megsim::BenchmarkData> &data)
+{
+    std::size_t frame_limit = 0;
+    if (const char *env = std::getenv("MEGSIM_FRAME_LIMIT"))
+        frame_limit = static_cast<std::size_t>(std::atoll(env));
+    auto built =
+        workloads::tryBuildBenchmark(opt.bench, opt.scale, frame_limit);
+    if (!built.ok()) {
+        std::fprintf(stderr, "%s\n", built.error().message.c_str());
+        return false;
+    }
+    scene = std::move(*built);
+    const gpusim::GpuConfig config =
+        opt.baseline ? gpusim::GpuConfig::baseline()
+                     : gpusim::GpuConfig::evaluationScaled();
+    data = std::make_unique<megsim::BenchmarkData>(scene, config,
+                                                   resolveCacheDir(opt));
+    return true;
+}
+
+int
+runResume(const Options &opt)
+{
+    gfx::SceneTrace scene;
+    std::unique_ptr<megsim::BenchmarkData> data;
+    if (!openBenchmarkData(opt, scene, data))
+        return 2;
+
+    const std::vector<gpusim::FrameStats> &stats = data->frameStats();
+    double cycles = 0.0;
+    for (const gpusim::FrameStats &s : stats)
+        cycles += static_cast<double>(s.cycles);
+    std::printf("# %s: %zu frames, %.0f total cycles\n",
+                opt.bench.c_str(), stats.size(), cycles);
+    obs::processRegistry().dump(std::cout, "resilience.*");
+    return 0;
+}
+
+int
+runVerifyCache(const Options &opt)
+{
+    gfx::SceneTrace scene;
+    std::unique_ptr<megsim::BenchmarkData> data;
+    if (!openBenchmarkData(opt, scene, data))
+        return 2;
+
+    bool corrupt = false;
+    for (const char *kind : {"activity", "stats"}) {
+        const std::string path = data->cachePath(kind);
+        auto loaded =
+            resilience::readCsvArtifact(path, data->cacheKey(), kind);
+        if (loaded.ok()) {
+            std::printf("%-8s OK        %zu rows  %s\n", kind,
+                        loaded->rows.size(), path.c_str());
+            continue;
+        }
+        if (loaded.error().code == resilience::Errc::NotFound) {
+            std::printf("%-8s missing   %s\n", kind, path.c_str());
+            continue;
+        }
+        corrupt = true;
+        std::printf("%-8s CORRUPT   %s: %s\n", kind, path.c_str(),
+                    loaded.error().message.c_str());
+        if (opt.purge) {
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+            std::printf("%-8s purged    %s\n", kind, path.c_str());
+        }
+    }
+    return corrupt ? 1 : 0;
 }
 
 int
 runStats(const Options &opt)
 {
-    const gfx::SceneTrace scene = workloads::buildBenchmark(
-        opt.bench, opt.scale, opt.frameBegin + 1);
+    auto built = workloads::tryBuildBenchmark(opt.bench, opt.scale,
+                                              opt.frameBegin + 1);
+    if (!built.ok()) {
+        std::fprintf(stderr, "%s\n", built.error().message.c_str());
+        return 2;
+    }
+    const gfx::SceneTrace scene = std::move(*built);
     if (opt.frameBegin >= scene.numFrames()) {
         std::fprintf(stderr, "frame %zu outside the %zu-frame scene\n",
                      opt.frameBegin, scene.numFrames());
@@ -155,8 +275,13 @@ runStats(const Options &opt)
 int
 runTrace(const Options &opt)
 {
-    const gfx::SceneTrace scene = workloads::buildBenchmark(
-        opt.bench, opt.scale, opt.frameEnd);
+    auto built = workloads::tryBuildBenchmark(opt.bench, opt.scale,
+                                              opt.frameEnd);
+    if (!built.ok()) {
+        std::fprintf(stderr, "%s\n", built.error().message.c_str());
+        return 2;
+    }
+    const gfx::SceneTrace scene = std::move(*built);
     if (opt.frameBegin >= scene.numFrames()) {
         std::fprintf(stderr, "frame %zu outside the %zu-frame scene\n",
                      opt.frameBegin, scene.numFrames());
@@ -201,5 +326,11 @@ main(int argc, char **argv)
     Options opt;
     if (!parse(argc, argv, opt))
         return usage(argv[0]);
-    return opt.command == "stats" ? runStats(opt) : runTrace(opt);
+    if (opt.command == "stats")
+        return runStats(opt);
+    if (opt.command == "trace")
+        return runTrace(opt);
+    if (opt.command == "resume")
+        return runResume(opt);
+    return runVerifyCache(opt);
 }
