@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <iostream>
 
+#include "exec/pool.hh"
 #include "obs/profile.hh"
 #include "sim/logging.hh"
 
@@ -34,7 +35,14 @@ resolveDir(const char *env, const char *fallback)
     return dir;
 }
 
-/** Prints the per-phase wall-clock summary when the bench exits. */
+/**
+ * Prints the per-phase wall-clock summary when the bench exits. The
+ * process-wide profiler this reads already aggregates every worker's
+ * shard: exec::Pool redirects in-job phases to per-worker profilers
+ * and merges them back on job completion, so phase seconds here are
+ * the SUM across workers (total CPU time per phase), not whichever
+ * worker happened to write last.
+ */
 struct PhaseReportAtExit
 {
     PhaseReportAtExit()
@@ -77,6 +85,8 @@ LoadedBenchmark
 loadBenchmark(const std::string &alias)
 {
     static PhaseReportAtExit reportAtExit;
+    sim::informOnce("exec.pool.workers", "worker pool: %zu threads",
+                    exec::Pool::global().workers());
 
     std::size_t frame_limit = 0;
     if (const char *env = std::getenv("MEGSIM_FRAME_LIMIT"))

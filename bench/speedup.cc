@@ -8,13 +8,21 @@
  * stays affordable inside this bench; the frame-count reduction factors
  * of the complete sequences are in Table III. MEGSIM_SPEEDUP_FRAMES
  * overrides the prefix length.
+ *
+ * A second table runs the same MEGsim flow through exec::Pool at 1, 2
+ * and the configured number of worker threads and reports the
+ * wall-clock of each — the representative set must be identical on
+ * every row (the pool's determinism contract).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "bench_common.hh"
+#include "exec/pool.hh"
 #include "gpusim/functional_simulator.hh"
 #include "gpusim/timing_simulator.hh"
 
@@ -93,5 +101,63 @@ main()
                 "paper's 126x refers to the reduction\nin cycle-level "
                 "frames, reproduced in Table III on the full "
                 "sequences.\n");
+
+    // Thread scaling: the identical flow (parallel functional pass +
+    // clustering) at 1, 2 and the configured thread count. Every row
+    // must compute the same representative frames — only the
+    // wall-clock is allowed to change.
+    const std::size_t configured = exec::Pool::configuredThreads();
+    std::vector<std::size_t> counts;
+    for (std::size_t t :
+         {std::size_t(1), std::size_t(2), configured})
+        if (std::find(counts.begin(), counts.end(), t) ==
+            counts.end())
+            counts.push_back(t);
+
+    std::printf("\nThread scaling (megsim flow, bench hwh, %zu "
+                "frames)\n",
+                frames);
+    std::printf("%-8s %10s %8s %10s\n", "threads", "wall (s)", "reps",
+                "identical");
+    bench::printRule(40);
+
+    const auto scene = workloads::buildBenchmark("hwh", 1.0, frames);
+    const auto config = bench::evalConfig();
+    std::vector<std::size_t> reference;
+    for (std::size_t t : counts) {
+        exec::Pool::setConfiguredThreads(t);
+        exec::Pool &pool = exec::Pool::global();
+        const double t0 = now_s();
+        gpusim::SceneBinding binding(scene);
+        std::vector<std::unique_ptr<gpusim::FunctionalSimulator>>
+            sims(pool.workers());
+        std::vector<gpusim::FrameActivity> acts(scene.numFrames());
+        (void)pool.parallelMapOrdered<gpusim::FrameActivity>(
+            scene.numFrames(),
+            [&](std::size_t f, std::size_t w)
+                -> resilience::Expected<gpusim::FrameActivity> {
+                if (!sims[w])
+                    sims[w] = std::make_unique<
+                        gpusim::FunctionalSimulator>(config, binding);
+                return sims[w]->simulate(scene.frames[f]);
+            },
+            [&](std::size_t f, gpusim::FrameActivity &&act) {
+                acts[f] = std::move(act);
+            });
+        megsim::FeatureMatrix features =
+            megsim::buildFeatureMatrix(acts, scene);
+        megsim::normalize(features);
+        const auto clustered = megsim::randomProject(features, 24);
+        const auto sel = megsim::selectClustering(clustered);
+        const auto reps =
+            megsim::representativeSet(clustered, sel.chosen());
+        const double wall = now_s() - t0;
+        if (reference.empty())
+            reference = reps.frames;
+        std::printf("%-8zu %10.2f %8zu %10s\n", pool.workers(), wall,
+                    reps.frames.size(),
+                    reps.frames == reference ? "yes" : "NO");
+    }
+    exec::Pool::setConfiguredThreads(configured);
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "exec/pool.hh"
 #include "sim/random.hh"
 
 namespace msim::megsim
@@ -46,20 +47,32 @@ kmeans(const FeatureMatrix &features, std::size_t k,
     if (n == 0)
         return result;
 
-    // k-means++ seeding.
+    // k-means++ seeding. The per-frame distance updates fan out (each
+    // frame owns its minD2 slot); the weighted draw below stays a
+    // serial sum in frame order so the result is bit-identical to a
+    // single-threaded run.
+    exec::Pool &pool = exec::Pool::global();
     sim::Rng rng(config.seed);
     std::vector<double> minD2(n, std::numeric_limits<double>::max());
     std::size_t first = rng.below(n);
     for (std::size_t c = 0; c < dims; ++c)
         result.centroids[c] = features.at(first, c);
     for (std::size_t cl = 1; cl < k; ++cl) {
+        (void)pool.parallelFor(
+            n,
+            [&](std::size_t f,
+                std::size_t) -> resilience::Expected<void> {
+                const double d2 = sqDist(features, f,
+                                         result.centroids, cl - 1,
+                                         dims);
+                if (d2 < minD2[f])
+                    minD2[f] = d2;
+                return {};
+            },
+            exec::Chunking::Static);
         double total = 0.0;
-        for (std::size_t f = 0; f < n; ++f) {
-            const double d2 = sqDist(features, f, result.centroids,
-                                     cl - 1, dims);
-            minD2[f] = std::min(minD2[f], d2);
+        for (std::size_t f = 0; f < n; ++f)
             total += minD2[f];
-        }
         std::size_t pick = 0;
         if (total > 0.0) {
             double target = rng.uniform() * total;
@@ -77,25 +90,39 @@ kmeans(const FeatureMatrix &features, std::size_t k,
             result.centroids[cl * dims + c] = features.at(pick, c);
     }
 
-    // Lloyd iterations.
+    // Lloyd iterations. The O(n*k*d) assignment step fans out —
+    // every frame writes only its own label, so labels are identical
+    // at any thread count. The centroid update stays serial: its
+    // floating-point sums are order-sensitive, and keeping them in
+    // frame order is what makes centroids bit-identical.
+    std::vector<unsigned char> workerChanged(pool.workers(), 0);
     for (std::size_t iter = 0; iter < config.maxIterations; ++iter) {
         bool changed = iter == 0;
-        for (std::size_t f = 0; f < n; ++f) {
-            std::size_t best = 0;
-            double bestD2 = std::numeric_limits<double>::max();
-            for (std::size_t cl = 0; cl < k; ++cl) {
-                const double d2 =
-                    sqDist(features, f, result.centroids, cl, dims);
-                if (d2 < bestD2) {
-                    bestD2 = d2;
-                    best = cl;
+        std::fill(workerChanged.begin(), workerChanged.end(), 0);
+        (void)pool.parallelFor(
+            n,
+            [&](std::size_t f,
+                std::size_t w) -> resilience::Expected<void> {
+                std::size_t best = 0;
+                double bestD2 = std::numeric_limits<double>::max();
+                for (std::size_t cl = 0; cl < k; ++cl) {
+                    const double d2 = sqDist(features, f,
+                                             result.centroids, cl,
+                                             dims);
+                    if (d2 < bestD2) {
+                        bestD2 = d2;
+                        best = cl;
+                    }
                 }
-            }
-            if (result.labels[f] != best) {
-                result.labels[f] = best;
-                changed = true;
-            }
-        }
+                if (result.labels[f] != best) {
+                    result.labels[f] = best;
+                    workerChanged[w] = 1;
+                }
+                return {};
+            },
+            exec::Chunking::Static);
+        for (unsigned char c : workerChanged)
+            changed = changed || c != 0;
         if (!changed)
             break;
 
@@ -176,34 +203,60 @@ selectClustering(const FeatureMatrix &features,
         std::max<std::size_t>(1, config.maxClusters),
         std::max<std::size_t>(1, features.rows()));
 
+    // Independent k values fan out in waves of one pool width; the
+    // serial walk below replays the exact patience rule over each
+    // wave, so the trace and the chosen k are bit-identical to a
+    // serial sweep (wave work past the stopping point is discarded).
+    // Each per-k job runs its own kmeans calls inline — nested pool
+    // use degrades to serial — so the fan-out is over k only.
+    exec::Pool &pool = exec::Pool::global();
+    const std::size_t wave = pool.workers();
     double bestBic = -std::numeric_limits<double>::max();
     std::size_t decreases = 0;
-    for (std::size_t k = 1; k <= maxK; ++k) {
-        // Best-of-restarts guards the BIC curve against one unlucky
-        // k-means++ draw ending the search prematurely.
-        SelectionStep step;
-        step.bic = -std::numeric_limits<double>::max();
-        const std::size_t restarts =
-            std::max<std::size_t>(1, config.restarts);
-        for (std::size_t r = 0; r < restarts; ++r) {
-            KMeansConfig kc = config.kmeans;
-            kc.seed = sim::hashMix(config.kmeans.seed, k, r);
-            KMeansResult attempt = kmeans(features, k, kc);
-            const double bic = bicScore(features, attempt);
-            if (bic > step.bic) {
-                step.bic = bic;
-                step.result = std::move(attempt);
-            }
-        }
-        sel.trace.push_back(std::move(step));
+    bool stopped = false;
+    for (std::size_t base = 1; base <= maxK && !stopped;
+         base += wave) {
+        const std::size_t count = std::min(wave, maxK - base + 1);
+        std::vector<SelectionStep> steps(count);
+        (void)pool.parallelFor(
+            count,
+            [&](std::size_t i,
+                std::size_t) -> resilience::Expected<void> {
+                const std::size_t k = base + i;
+                // Best-of-restarts guards the BIC curve against one
+                // unlucky k-means++ draw ending the search
+                // prematurely.
+                SelectionStep step;
+                step.bic = -std::numeric_limits<double>::max();
+                const std::size_t restarts =
+                    std::max<std::size_t>(1, config.restarts);
+                for (std::size_t r = 0; r < restarts; ++r) {
+                    KMeansConfig kc = config.kmeans;
+                    kc.seed = sim::hashMix(config.kmeans.seed, k, r);
+                    KMeansResult attempt = kmeans(features, k, kc);
+                    const double bic = bicScore(features, attempt);
+                    if (bic > step.bic) {
+                        step.bic = bic;
+                        step.result = std::move(attempt);
+                    }
+                }
+                steps[i] = std::move(step);
+                return {};
+            },
+            exec::Chunking::Dynamic, 1);
 
-        if (sel.trace.back().bic > bestBic) {
-            bestBic = sel.trace.back().bic;
-            decreases = 0;
-        } else {
-            ++decreases;
-            if (decreases > config.patience)
-                break;
+        for (SelectionStep &step : steps) {
+            sel.trace.push_back(std::move(step));
+            if (sel.trace.back().bic > bestBic) {
+                bestBic = sel.trace.back().bic;
+                decreases = 0;
+            } else {
+                ++decreases;
+                if (decreases > config.patience) {
+                    stopped = true;
+                    break;
+                }
+            }
         }
     }
 

@@ -4,12 +4,14 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "exec/pool.hh"
 #include "gpusim/scene_binding.hh"
 #include "gpusim/timing_simulator.hh"
 #include "obs/profile.hh"
 #include "obs/stats.hh"
 #include "resilience/artifact.hh"
 #include "resilience/checkpoint.hh"
+#include "resilience/degrade.hh"
 #include "resilience/fault.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -77,6 +79,13 @@ activityToRow(const gpusim::FrameActivity &act)
         row.push_back(static_cast<double>(v));
     return row;
 }
+
+/** What one ground-truth worker hands back to the committer. */
+struct GroundTruthFrame
+{
+    gpusim::FrameStats stats;
+    gpusim::FrameActivity activity;
+};
 
 gpusim::FrameActivity
 activityFromRow(const std::vector<double> &row, std::size_t vs,
@@ -204,16 +213,34 @@ BenchmarkData::activities()
 
     obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
                                      "functional");
+    exec::Pool &pool = exec::Pool::global();
     gpusim::SceneBinding binding(*scene_);
-    gpusim::FunctionalSimulator functional(config_, binding);
-    activities_.clear();
-    activities_.reserve(scene_->numFrames());
-    obs::Heartbeat heartbeat(scene_->numFrames(),
-                             "functional " + scene_->name);
-    for (const gfx::FrameTrace &frame : scene_->frames) {
-        activities_.push_back(functional.simulate(frame));
-        heartbeat.tick(activities_.size());
-    }
+    const std::size_t total = scene_->numFrames();
+    // One simulator per worker, built lazily on that worker's first
+    // frame; every frame simulates cold, so which worker ran it does
+    // not affect the result.
+    std::vector<std::unique_ptr<gpusim::FunctionalSimulator>> sims(
+        pool.workers());
+    activities_.assign(total, gpusim::FrameActivity{});
+    obs::Heartbeat heartbeat(total, "functional " + scene_->name);
+    std::size_t done = 0;
+    auto pass = pool.parallelMapOrdered<gpusim::FrameActivity>(
+        total,
+        [&](std::size_t f, std::size_t w)
+            -> resilience::Expected<gpusim::FrameActivity> {
+            if (!sims[w])
+                sims[w] =
+                    std::make_unique<gpusim::FunctionalSimulator>(
+                        config_, binding);
+            return sims[w]->simulate(scene_->frames[f]);
+        },
+        [&](std::size_t f, gpusim::FrameActivity &&act) {
+            activities_[f] = std::move(act);
+            heartbeat.tick(++done);
+        });
+    if (!pass.ok())
+        sim::fatal("functional pass failed: %s",
+                   pass.error().message.c_str());
     heartbeat.finish();
     haveActivities_ = true;
     if (!cacheDir_.empty()) {
@@ -267,20 +294,70 @@ BenchmarkData::frameStats()
         acts.reserve(total);
     }
 
+    // Frames fan out across the pool (thread-local simulators, cold
+    // per frame); the commit lambda runs on the calling thread in
+    // frame order, which keeps checkpoint journal appends serialized
+    // and the files bit-identical to a serial run.
     gpusim::SceneBinding binding(*scene_);
-    gpusim::TimingSimulator timing(config_, binding);
+    exec::Pool &pool = exec::Pool::global();
+    std::vector<std::unique_ptr<gpusim::TimingSimulator>> sims(
+        pool.workers());
+    const resilience::WatchdogConfig watchdog =
+        resilience::WatchdogConfig::fromEnv();
     obs::Heartbeat heartbeat(total, "ground truth " + scene_->name);
-    for (std::size_t f = start; f < total; ++f) {
-        gpusim::FrameActivity act;
-        stats_.push_back(timing.simulate(scene_->frames[f], &act));
-        acts.push_back(std::move(act));
-        if (ckpt)
-            ckpt->append(stats_.back().toCsvRow(),
-                         activityToRow(acts.back()));
-        resilience::FaultInjector::global().maybeKillAfterFrame(f);
-        heartbeat.tick(stats_.size());
-    }
+    auto pass = pool.parallelMapOrdered<GroundTruthFrame>(
+        total - start,
+        [&](std::size_t i, std::size_t w)
+            -> resilience::Expected<GroundTruthFrame> {
+            const std::size_t f = start + i;
+            if (resilience::FaultInjector::global().hangFrame(f))
+                return resilience::errorf(
+                    resilience::Errc::FrameTimeout,
+                    "frame %zu hung (injected)", f);
+            if (!sims[w])
+                sims[w] = std::make_unique<gpusim::TimingSimulator>(
+                    config_, binding);
+            GroundTruthFrame out;
+            out.stats =
+                sims[w]->simulate(scene_->frames[f], &out.activity);
+            if (watchdog.cycleBudget &&
+                out.stats.cycles > watchdog.cycleBudget)
+                return resilience::errorf(
+                    resilience::Errc::FrameTimeout,
+                    "frame %zu blew the cycle budget (%llu > %llu)",
+                    f,
+                    static_cast<unsigned long long>(out.stats.cycles),
+                    static_cast<unsigned long long>(
+                        watchdog.cycleBudget));
+            if (watchdog.wallBudgetSeconds > 0.0 &&
+                sims[w]->lastFrameWallSeconds() >
+                    watchdog.wallBudgetSeconds)
+                return resilience::errorf(
+                    resilience::Errc::FrameTimeout,
+                    "frame %zu blew the wall budget (%.3fs > %.3fs)",
+                    f, sims[w]->lastFrameWallSeconds(),
+                    watchdog.wallBudgetSeconds);
+            return out;
+        },
+        [&](std::size_t i, GroundTruthFrame &&frame) {
+            stats_.push_back(std::move(frame.stats));
+            acts.push_back(std::move(frame.activity));
+            if (ckpt)
+                ckpt->append(stats_.back().toCsvRow(),
+                             activityToRow(acts.back()));
+            resilience::FaultInjector::global().maybeKillAfterFrame(
+                start + i);
+            heartbeat.tick(stats_.size());
+        });
     heartbeat.finish();
+    if (!pass.ok()) {
+        // The journal already holds the frames committed before the
+        // failure; a rerun resumes from there instead of starting
+        // over.
+        sim::fatal("ground-truth pass of '%s' failed: %s",
+                   scene_->name.c_str(),
+                   pass.error().message.c_str());
+    }
     haveStats_ = true;
     if (!haveActivities_) {
         activities_ = std::move(acts);

@@ -55,11 +55,49 @@ PhaseProfiler::report(std::ostream &os) const
     os << line;
 }
 
+void
+PhaseProfiler::mergeFrom(const PhaseProfiler &other)
+{
+    for (const Phase &p : other.phases_) {
+        bool found = false;
+        for (Phase &mine : phases_) {
+            if (mine.name == p.name) {
+                mine.seconds += p.seconds;
+                mine.entries += p.entries;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            phases_.push_back(p);
+    }
+}
+
+namespace
+{
+
+thread_local PhaseProfiler *tlsPhaseOverride = nullptr;
+
+} // namespace
+
 PhaseProfiler &
 PhaseProfiler::global()
 {
+    if (tlsPhaseOverride)
+        return *tlsPhaseOverride;
     static PhaseProfiler profiler;
     return profiler;
+}
+
+PhaseProfilerOverride::PhaseProfilerOverride(PhaseProfiler &shard)
+    : previous_(tlsPhaseOverride)
+{
+    tlsPhaseOverride = &shard;
+}
+
+PhaseProfilerOverride::~PhaseProfilerOverride()
+{
+    tlsPhaseOverride = previous_;
 }
 
 Heartbeat::Heartbeat(std::size_t total, std::string label,

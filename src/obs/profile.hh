@@ -57,14 +57,41 @@ class PhaseProfiler
     bool empty() const { return phases_.empty(); }
     void clear() { phases_.clear(); }
 
+    /**
+     * Aggregate another profiler's phases into this one (per-worker
+     * shards folding into the session profile; the bench phase report
+     * at exit sums worker time instead of losing it).
+     */
+    void mergeFrom(const PhaseProfiler &other);
+
     /** Fixed-width per-phase summary (seconds and share). */
     void report(std::ostream &os) const;
 
-    /** Process-wide profiler used by the MEGsim driver and benches. */
+    /**
+     * Process-wide profiler used by the MEGsim driver and benches.
+     * Like a StatsRegistry, a profiler is single-writer: global()
+     * honors the calling thread's PhaseProfilerOverride, so phases
+     * timed inside an exec::Pool job land in the worker's shard and
+     * are merged back on the caller thread.
+     */
     static PhaseProfiler &global();
 
   private:
     std::vector<Phase> phases_; // insertion order = execution order
+};
+
+/** RAII thread-local redirect of PhaseProfiler::global() to a shard. */
+class PhaseProfilerOverride
+{
+  public:
+    explicit PhaseProfilerOverride(PhaseProfiler &shard);
+    ~PhaseProfilerOverride();
+    PhaseProfilerOverride(const PhaseProfilerOverride &) = delete;
+    PhaseProfilerOverride &
+    operator=(const PhaseProfilerOverride &) = delete;
+
+  private:
+    PhaseProfiler *previous_;
 };
 
 class Heartbeat

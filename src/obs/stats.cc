@@ -40,6 +40,61 @@ Distribution::reset()
     sum_ = min_ = max_ = 0.0;
 }
 
+void
+Scalar::mergeFrom(const Stat &other)
+{
+    value_ += static_cast<const Scalar &>(other).value_;
+}
+
+std::unique_ptr<Stat>
+Scalar::cloneEmpty() const
+{
+    return std::make_unique<Scalar>(name(), desc());
+}
+
+void
+Average::mergeFrom(const Stat &other)
+{
+    const auto &o = static_cast<const Average &>(other);
+    sum_ += o.sum_;
+    count_ += o.count_;
+}
+
+std::unique_ptr<Stat>
+Average::cloneEmpty() const
+{
+    return std::make_unique<Average>(name(), desc());
+}
+
+void
+Distribution::mergeFrom(const Stat &other)
+{
+    const auto &o = static_cast<const Distribution &>(other);
+    if (o.lo_ != lo_ || o.hi_ != hi_ ||
+        o.buckets_.size() != buckets_.size())
+        sim::fatal("distribution '%s' merged with a different shape",
+                   name().c_str());
+    if (o.count_ == 0)
+        return;
+    if (!count_ || o.min_ < min_)
+        min_ = o.min_;
+    if (!count_ || o.max_ > max_)
+        max_ = o.max_;
+    for (std::size_t b = 0; b < buckets_.size(); ++b)
+        buckets_[b] += o.buckets_[b];
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+}
+
+std::unique_ptr<Stat>
+Distribution::cloneEmpty() const
+{
+    return std::make_unique<Distribution>(name(), desc(), lo_, hi_,
+                                          buckets_.size());
+}
+
 Stat &
 StatsRegistry::insert(std::unique_ptr<Stat> stat)
 {
@@ -118,6 +173,23 @@ StatsRegistry::resetPerFrame()
 {
     for (auto &[name, stat] : stats_)
         stat->reset();
+}
+
+void
+StatsRegistry::mergeFrom(const StatsRegistry &other)
+{
+    for (const auto &[name, stat] : other.stats_) {
+        if (stat->kind() == Stat::Kind::Formula)
+            continue;
+        Stat *dest = lookup(name, stat->kind());
+        if (!dest) {
+            std::unique_ptr<Stat> clone = stat->cloneEmpty();
+            if (!clone)
+                continue;
+            dest = &insert(std::move(clone));
+        }
+        dest->mergeFrom(*stat);
+    }
 }
 
 void
@@ -202,11 +274,31 @@ StatsRegistry::dump(std::ostream &os, const std::string &glob) const
         glob);
 }
 
+namespace
+{
+
+thread_local StatsRegistry *tlsProcessOverride = nullptr;
+
+} // namespace
+
 StatsRegistry &
 processRegistry()
 {
+    if (tlsProcessOverride)
+        return *tlsProcessOverride;
     static StatsRegistry registry;
     return registry;
+}
+
+ProcessRegistryOverride::ProcessRegistryOverride(StatsRegistry &shard)
+    : previous_(tlsProcessOverride)
+{
+    tlsProcessOverride = &shard;
+}
+
+ProcessRegistryOverride::~ProcessRegistryOverride()
+{
+    tlsProcessOverride = previous_;
 }
 
 } // namespace msim::obs

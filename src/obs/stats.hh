@@ -19,7 +19,15 @@
  * except formulas (which recompute) — the simulator calls it at frame
  * start so a dump after simulate() describes exactly one frame.
  *
- * The registry is deliberately single-threaded, like the simulator.
+ * Ownership rule under parallel execution: a StatsRegistry is
+ * deliberately lock-free and therefore single-writer. Every exec::Pool
+ * worker mutates only registries it owns — its simulator's registry
+ * and its per-worker shard of the process registry (processRegistry()
+ * is redirected to the shard via ProcessRegistryOverride while the
+ * worker runs). At the end of every pool job the caller thread merges
+ * the shards into the real process registry in worker-index order
+ * (mergeFrom), so integer-valued counters are bit-identical across
+ * thread counts. No registry is ever mutated from two threads.
  */
 
 #ifndef MSIM_OBS_STATS_HH
@@ -54,6 +62,19 @@ class Stat
     virtual double value() const = 0;
     virtual void reset() = 0;
 
+    /**
+     * Accumulate @p other (same kind, same name) into this stat —
+     * how per-worker shards fold into the session registry.
+     */
+    virtual void mergeFrom(const Stat &other) = 0;
+
+    /**
+     * A zeroed stat of the same kind and shape, for creating the
+     * destination of a merge. Formulas return nullptr (a closure
+     * cannot be cloned; the owning unit re-registers it).
+     */
+    virtual std::unique_ptr<Stat> cloneEmpty() const = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -86,6 +107,8 @@ class Scalar : public Stat
 
     double value() const override { return value_; }
     void reset() override { value_ = 0.0; }
+    void mergeFrom(const Stat &other) override;
+    std::unique_ptr<Stat> cloneEmpty() const override;
 
   private:
     double value_ = 0.0;
@@ -118,6 +141,9 @@ class Average : public Stat
         sum_ = 0.0;
         count_ = 0;
     }
+
+    void mergeFrom(const Stat &other) override;
+    std::unique_ptr<Stat> cloneEmpty() const override;
 
   private:
     double sum_ = 0.0;
@@ -153,6 +179,8 @@ class Distribution : public Stat
     }
 
     void reset() override;
+    void mergeFrom(const Stat &other) override;
+    std::unique_ptr<Stat> cloneEmpty() const override;
 
   private:
     double lo_;
@@ -178,6 +206,8 @@ class Formula : public Stat
 
     double value() const override { return fn_ ? fn_() : 0.0; }
     void reset() override {}
+    void mergeFrom(const Stat &) override {}
+    std::unique_ptr<Stat> cloneEmpty() const override { return nullptr; }
 
   private:
     std::function<double()> fn_;
@@ -217,6 +247,15 @@ class StatsRegistry
     /** Per-frame reset: zero everything except formulas. */
     void resetPerFrame();
 
+    /**
+     * Accumulate every stat of @p other into this registry, creating
+     * missing stats of the same kind and shape (formulas are skipped —
+     * they recompute from their owner's stats). Stats are visited in
+     * name order, so merging N worker shards in worker-index order is
+     * a deterministic fold.
+     */
+    void mergeFrom(const StatsRegistry &other);
+
     /** Visit stats whose dotted name matches @p glob, in name order. */
     void visit(const std::function<void(const Stat &)> &fn,
                const std::string &glob = "*") const;
@@ -240,8 +279,31 @@ class StatsRegistry
  * Process-wide registry for cross-cutting counters that outlive any
  * one simulator instance — fault injections, cache corruption
  * detections, checkpoint resumes, degradation events. Never reset.
+ *
+ * Honors the active ProcessRegistryOverride of the calling thread, so
+ * deep library code keeps calling processRegistry() unchanged and
+ * lands in the worker's shard when run inside an exec::Pool job.
  */
 StatsRegistry &processRegistry();
+
+/**
+ * RAII thread-local redirect of processRegistry() to a worker shard.
+ * Installed by exec::Pool around each worker's share of a job; the
+ * shard is merged into the real process registry (caller thread, in
+ * worker-index order) when the job completes.
+ */
+class ProcessRegistryOverride
+{
+  public:
+    explicit ProcessRegistryOverride(StatsRegistry &shard);
+    ~ProcessRegistryOverride();
+    ProcessRegistryOverride(const ProcessRegistryOverride &) = delete;
+    ProcessRegistryOverride &
+    operator=(const ProcessRegistryOverride &) = delete;
+
+  private:
+    StatsRegistry *previous_;
+};
 
 /** Convenience handle carrying a `unit.` prefix into a registry. */
 class StatsGroup

@@ -96,6 +96,20 @@ parseClause(const std::string &text)
 
 } // namespace
 
+FaultInjector::FaultInjector(const FaultInjector &other)
+    : armed_(other.armed_)
+{}
+
+FaultInjector &
+FaultInjector::operator=(const FaultInjector &other)
+{
+    if (this != &other) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        armed_ = other.armed_;
+    }
+    return *this;
+}
+
 const char *
 faultClassName(FaultClass cls)
 {
@@ -175,6 +189,7 @@ FaultInjector::roll(Armed &armed, const std::string &subject)
 bool
 FaultInjector::failRead(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (Armed &armed : armed_)
         if (armed.clause.cls == FaultClass::IoRead &&
             roll(armed, path))
@@ -185,6 +200,7 @@ FaultInjector::failRead(const std::string &path)
 bool
 FaultInjector::failWrite(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (Armed &armed : armed_)
         if (armed.clause.cls == FaultClass::IoWrite &&
             roll(armed, path))
@@ -195,6 +211,7 @@ FaultInjector::failWrite(const std::string &path)
 bool
 FaultInjector::corruptCache(const std::string &kind)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (Armed &armed : armed_)
         if (armed.clause.cls == FaultClass::CacheCorrupt &&
             roll(armed, kind))
@@ -205,6 +222,7 @@ FaultInjector::corruptCache(const std::string &kind)
 bool
 FaultInjector::hangFrame(std::uint64_t frame)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (Armed &armed : armed_) {
         if (armed.clause.cls != FaultClass::FrameHang)
             continue;
@@ -221,6 +239,7 @@ FaultInjector::hangFrame(std::uint64_t frame)
 void
 FaultInjector::maybeKillAfterFrame(std::uint64_t frame)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (Armed &armed : armed_) {
         if (armed.clause.cls != FaultClass::RunKill ||
             armed.clause.frame != frame)

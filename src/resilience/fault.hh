@@ -19,12 +19,20 @@
  * the dice deterministic (default 1), `path`/`kind` are substring
  * filters. Injections are counted in the process-wide stats registry
  * under `resilience.faults.*`.
+ *
+ * Thread safety: the query methods are safe to call from exec::Pool
+ * workers (a mutex guards the per-clause RNG state). Frame-targeted
+ * clauses (`frame=N`) stay fully deterministic at any thread count.
+ * Probabilistic clauses (`p<1`) draw from one shared RNG stream, so
+ * WHICH call site receives a given draw depends on scheduling; their
+ * injection sequence is reproducible only at MEGSIM_THREADS=1.
  */
 
 #ifndef MSIM_RESILIENCE_FAULT_HH
 #define MSIM_RESILIENCE_FAULT_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +65,8 @@ class FaultInjector
 {
   public:
     FaultInjector() = default;
+    FaultInjector(const FaultInjector &other);
+    FaultInjector &operator=(const FaultInjector &other);
 
     /** Parse a MEGSIM_FAULTS spec; empty spec = no faults. */
     static Expected<FaultInjector> parse(const std::string &spec);
@@ -101,6 +111,9 @@ class FaultInjector
 
     bool roll(Armed &armed, const std::string &subject);
 
+    // Guards armed_ (RNG draws mutate per-clause state); the injector
+    // is queried from pool workers during the ground-truth pass.
+    mutable std::mutex mutex_;
     std::vector<Armed> armed_;
 };
 

@@ -25,7 +25,9 @@
  *       corruption.
  *
  * Common options: --scale S (workload complexity), --baseline (use
- * the full Table I GPU instead of the scaled evaluation profile).
+ * the full Table I GPU instead of the scaled evaluation profile),
+ * --threads N (worker-pool size; overrides MEGSIM_THREADS, 1 = exact
+ * serial execution).
  */
 
 #include <cstdio>
@@ -37,6 +39,7 @@
 #include <string>
 
 #include "core/megsim.hh"
+#include "exec/pool.hh"
 #include "gpusim/timing_simulator.hh"
 #include "obs/stats.hh"
 #include "obs/trace_export.hh"
@@ -59,6 +62,7 @@ struct Options
     std::size_t frameBegin = 0;
     std::size_t frameEnd = 1;
     double scale = 1.0;
+    std::size_t threads = 0; // 0 = keep MEGSIM_THREADS / hw default
     bool baseline = false;
     bool purge = false;
 };
@@ -74,7 +78,7 @@ usage(const char *argv0)
         "       %s resume [--bench ALIAS] [--cache-dir DIR]\n"
         "       %s verify-cache [--bench ALIAS] [--cache-dir DIR]"
         " [--purge]\n"
-        "options: --scale S, --baseline\n"
+        "options: --scale S, --baseline, --threads N\n"
         "benches:",
         argv0, argv0, argv0, argv0);
     for (const std::string &alias : workloads::benchmarkNames())
@@ -137,6 +141,11 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.scale = std::atof(v);
+        } else if (arg == "--threads") {
+            const char *v = next();
+            if (!v || std::atoll(v) < 1)
+                return false;
+            opt.threads = static_cast<std::size_t>(std::atoll(v));
         } else if (arg == "--cache-dir") {
             const char *v = next();
             if (!v)
@@ -201,9 +210,11 @@ runResume(const Options &opt)
     double cycles = 0.0;
     for (const gpusim::FrameStats &s : stats)
         cycles += static_cast<double>(s.cycles);
-    std::printf("# %s: %zu frames, %.0f total cycles\n",
-                opt.bench.c_str(), stats.size(), cycles);
+    std::printf("# %s: %zu frames, %.0f total cycles, %zu threads\n",
+                opt.bench.c_str(), stats.size(), cycles,
+                exec::Pool::global().workers());
     obs::processRegistry().dump(std::cout, "resilience.*");
+    obs::processRegistry().dump(std::cout, "exec.pool.*");
     return 0;
 }
 
@@ -326,6 +337,8 @@ main(int argc, char **argv)
     Options opt;
     if (!parse(argc, argv, opt))
         return usage(argv[0]);
+    if (opt.threads)
+        exec::Pool::setConfiguredThreads(opt.threads);
     if (opt.command == "stats")
         return runStats(opt);
     if (opt.command == "trace")
