@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Runs the full Table II suite through the batch campaign runner
+ * (one shared pool) and writes the machine-readable accuracy report
+ * CI gates on. The per-benchmark rows reproduce Table III (reduction
+ * factors) and Fig. 7 (relative error per metric) in one pass.
+ *
+ * Usage: campaign [--check thresholds.json]
+ * Honors MEGSIM_FRAME_LIMIT / MEGSIM_SCALE / MEGSIM_CACHE_DIR /
+ * MEGSIM_OUT_DIR / MEGSIM_THREADS like every other bench driver.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "batch/campaign.hh"
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace msim;
+
+    std::string thresholdsPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+            thresholdsPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--check thresholds.json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    batch::CampaignConfig config = batch::CampaignConfig::fromEnv();
+    config.cacheDir = bench::cacheDir();
+    batch::Campaign campaign(std::move(config));
+    auto report = campaign.run();
+    if (!report.ok()) {
+        std::fprintf(stderr, "campaign failed: %s\n",
+                     report.error().message.c_str());
+        return 1;
+    }
+
+    std::printf("Campaign: Table III + Fig. 7 in one shared-pool "
+                "pass (%zu threads)\n",
+                report->threads);
+    std::printf("%-10s %8s %5s %6s %10s %8s %8s %8s %8s\n",
+                "Benchmark", "Frames", "k", "Reps", "Reduction",
+                "Cycles%", "DRAM%", "L2%", "Tile%");
+    bench::printRule(80);
+    for (const batch::BenchmarkReport &b : report->benchmarks)
+        std::printf(
+            "%-10s %8zu %5zu %6zu %9.1fx %8.3f %8.3f %8.3f %8.3f\n",
+            b.alias.c_str(), b.frames, b.chosenK, b.representatives,
+            b.reduction, b.errorPercent[0], b.errorPercent[1],
+            b.errorPercent[2], b.errorPercent[3]);
+    bench::printRule(80);
+    std::printf("%-10s mean reduction %.1fx, suite reduction %.1fx, "
+                "pool utilization %.0f%%\n",
+                "Suite", report->meanReduction,
+                report->suiteReduction,
+                report->poolUtilization * 100.0);
+
+    const std::string out = bench::outDir() + "/campaign.json";
+    if (auto saved = report->save(out); !saved.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                     saved.error().message.c_str());
+        return 1;
+    }
+    std::printf("report: %s\n", out.c_str());
+
+    if (!thresholdsPath.empty()) {
+        auto limits = batch::Thresholds::load(thresholdsPath);
+        if (!limits.ok()) {
+            std::fprintf(stderr, "cannot load thresholds %s: %s\n",
+                         thresholdsPath.c_str(),
+                         limits.error().message.c_str());
+            return 1;
+        }
+        const auto violations = batch::checkThresholds(*report, *limits);
+        for (const std::string &line : violations)
+            std::fprintf(stderr, "threshold breach: %s\n",
+                         line.c_str());
+        if (!violations.empty())
+            return 1;
+        std::printf("threshold check passed\n");
+    }
+    return 0;
+}

@@ -1,0 +1,279 @@
+#include "batch/campaign.hh"
+
+#include <cstdlib>
+
+#include "exec/pool.hh"
+#include "obs/profile.hh"
+#include "obs/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace msim::batch
+{
+
+namespace
+{
+
+double
+counterValue(const char *name)
+{
+    const obs::Stat *stat = obs::processRegistry().find(name);
+    return stat ? stat->value() : 0.0;
+}
+
+} // namespace
+
+/** One benchmark moving through the campaign. */
+struct Campaign::Item
+{
+    std::string alias;
+    gfx::SceneTrace scene;
+    std::unique_ptr<megsim::BenchmarkData> data;
+    std::string cacheStatus = "built";
+    std::size_t resumedFrames = 0;
+    /** Non-null while the benchmark's ground truth is in flight. */
+    std::unique_ptr<megsim::GroundTruthPass> pass;
+    /** First global frame index of this benchmark in the shared job. */
+    std::size_t firstUnit = 0;
+    BenchmarkReport report;
+    bool analyzed = false;
+};
+
+CampaignConfig
+CampaignConfig::fromEnv()
+{
+    CampaignConfig config;
+    // Same selector seed as the bench drivers, so campaign.json rows
+    // are comparable (and bit-identical) to table3/fig7 output.
+    config.megsim.selector.kmeans.seed = 0x4d4547; // "MEG"
+    if (const char *env = std::getenv("MEGSIM_CACHE_DIR"))
+        config.cacheDir = env;
+    if (const char *env = std::getenv("MEGSIM_FRAME_LIMIT"))
+        config.frameLimit =
+            static_cast<std::size_t>(std::atoll(env));
+    if (const char *env = std::getenv("MEGSIM_SCALE"))
+        config.scale = std::atof(env);
+    return config;
+}
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config))
+{
+    if (config_.benches.empty())
+        config_.benches = workloads::benchmarkNames();
+}
+
+Campaign::~Campaign() = default;
+
+BenchmarkReport
+Campaign::analyze(Item &item)
+{
+    const double t0 = obs::wallSeconds();
+    megsim::MegsimPipeline pipeline(*item.data, config_.megsim);
+    const megsim::MegsimRun run = pipeline.run();
+
+    BenchmarkReport report;
+    report.alias = item.alias;
+    report.frames = run.numFrames;
+    report.resumedFrames = item.resumedFrames;
+    report.chosenK = run.selection.chosen().k;
+    report.representatives = run.numRepresentatives();
+    report.reduction = run.reductionFactor();
+    for (std::size_t m = 0; m < kNumMetrics; ++m)
+        report.errorPercent[m] =
+            pipeline.errorPercent(run, kMetrics[m]);
+    report.cacheStatus = item.cacheStatus;
+    report.wallSeconds = obs::wallSeconds() - t0;
+    return report;
+}
+
+resilience::Expected<CampaignReport>
+Campaign::run()
+{
+    const double t0 = obs::wallSeconds();
+    exec::Pool &pool = exec::Pool::global();
+    const double busy0 = counterValue("exec.pool.busy_seconds");
+    const double job0 = counterValue("exec.pool.job_seconds");
+
+    // 1. Load every scene up front — an unknown alias fails the whole
+    // campaign before any simulation work starts.
+    items_.clear();
+    for (const std::string &alias : config_.benches) {
+        auto built = workloads::tryBuildBenchmark(
+            alias, config_.scale, config_.frameLimit);
+        if (!built.ok())
+            return built.error();
+        auto item = std::make_unique<Item>();
+        item->alias = alias;
+        item->scene = std::move(*built);
+        item->data = std::make_unique<megsim::BenchmarkData>(
+            item->scene, gpusim::GpuConfig::evaluationScaled(),
+            config_.cacheDir);
+        items_.push_back(std::move(item));
+    }
+
+    // 2. Probe the caches: fresh benchmarks go straight to analysis,
+    // the rest get a checkpoint-resuming ground-truth pass.
+    std::vector<Item *> fresh;
+    std::vector<Item *> regen;
+    for (auto &item : items_) {
+        switch (item->data->probeCaches()) {
+          case megsim::CacheProbe::Loaded:
+            item->cacheStatus = "fresh";
+            fresh.push_back(item.get());
+            break;
+          case megsim::CacheProbe::Invalid:
+            item->cacheStatus = "rebuilt";
+            regen.push_back(item.get());
+            break;
+          case megsim::CacheProbe::Missing:
+            item->cacheStatus = "built";
+            regen.push_back(item.get());
+            break;
+        }
+    }
+
+    // 3. The shared job. Item space: one analysis unit per fresh
+    // benchmark, then every remaining ground-truth frame of every
+    // regenerating benchmark, bench-major. Dynamic chunks let workers
+    // drain a short benchmark and flow into the next with no barrier;
+    // ordered commits serialize each benchmark's journal appends and
+    // finish (cache store + checkpoint discard) the moment its last
+    // frame lands, so a killed campaign keeps its completed prefix.
+    std::size_t totalUnits = fresh.size();
+    for (Item *item : regen) {
+        item->pass = std::make_unique<megsim::GroundTruthPass>(
+            *item->data, pool.workers());
+        item->resumedFrames = item->pass->resumedFrames();
+        item->firstUnit = totalUnits;
+        totalUnits += item->pass->remaining();
+    }
+
+    struct Unit
+    {
+        BenchmarkReport report; // analysis units
+        megsim::GroundTruthFrame frame;
+    };
+
+    // Map a global unit index to the regenerating benchmark owning it.
+    auto ownerOf = [&](std::size_t unit) -> Item * {
+        Item *owner = nullptr;
+        for (Item *item : regen) {
+            if (item->firstUnit > unit)
+                break;
+            owner = item;
+        }
+        return owner;
+    };
+
+    obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
+                                     "campaign-batch");
+    auto job = pool.parallelMapOrdered<Unit>(
+        totalUnits,
+        [&](std::size_t unit,
+            std::size_t w) -> resilience::Expected<Unit> {
+            Unit out;
+            if (unit < fresh.size()) {
+                // Nested pipeline calls degrade to inline serial on
+                // this worker — clustering is thread-count-invariant,
+                // so the numbers still match a pool-parallel run.
+                out.report = analyze(*fresh[unit]);
+                return out;
+            }
+            Item *item = ownerOf(unit);
+            auto frame =
+                item->pass->produce(unit - item->firstUnit, w);
+            if (!frame.ok())
+                return frame.error();
+            out.frame = std::move(*frame);
+            return out;
+        },
+        [&](std::size_t unit, Unit &&out) {
+            if (unit < fresh.size()) {
+                fresh[unit]->report = std::move(out.report);
+                fresh[unit]->analyzed = true;
+                return;
+            }
+            Item *item = ownerOf(unit);
+            item->pass->commit(unit - item->firstUnit,
+                               std::move(out.frame));
+            if (unit - item->firstUnit + 1 ==
+                item->pass->remaining()) {
+                item->pass->finish();
+                item->pass.reset();
+            }
+        });
+    if (!job.ok())
+        return job.error();
+
+    // 4. Regenerated benchmarks analyze at top level, where
+    // clustering fans out over the (now idle) pool exactly like the
+    // single-benchmark drivers.
+    for (auto &item : items_) {
+        if (!item->analyzed) {
+            item->report = analyze(*item);
+            item->analyzed = true;
+        }
+    }
+
+    CampaignReport report;
+    report.threads = pool.workers();
+    for (auto &item : items_)
+        report.benchmarks.push_back(item->report);
+    report.computeAggregates();
+    report.wallSeconds = obs::wallSeconds() - t0;
+
+    const double busy = counterValue("exec.pool.busy_seconds") - busy0;
+    const double jobSeconds =
+        counterValue("exec.pool.job_seconds") - job0;
+    const double capacity =
+        static_cast<double>(pool.workers()) * jobSeconds;
+    report.poolUtilization =
+        capacity > 0.0
+            ? (busy < capacity ? busy / capacity : 1.0)
+            : 1.0;
+
+    publishStats(report);
+    return report;
+}
+
+void
+Campaign::publishStats(const CampaignReport &report)
+{
+    obs::StatsRegistry &registry = obs::processRegistry();
+    for (const BenchmarkReport &b : report.benchmarks) {
+        obs::StatsGroup group =
+            registry.group("campaign." + b.alias);
+        group.scalar("frames", "ground-truth frames").set(
+            static_cast<double>(b.frames));
+        group.scalar("resumed_frames",
+                     "frames recovered from a checkpoint")
+            .set(static_cast<double>(b.resumedFrames));
+        group.scalar("k", "chosen cluster count")
+            .set(static_cast<double>(b.chosenK));
+        group.scalar("representatives", "simulated representatives")
+            .set(static_cast<double>(b.representatives));
+        group.scalar("reduction", "frame reduction factor")
+            .set(b.reduction);
+        group.scalar("wall_seconds", "analysis wall time")
+            .set(b.wallSeconds);
+        obs::StatsGroup errors = group.group("error");
+        for (std::size_t m = 0; m < kNumMetrics; ++m)
+            errors.scalar(kMetricKeys[m], "relative error (%)")
+                .set(b.errorPercent[m]);
+    }
+    obs::StatsGroup suite = registry.group("campaign.suite");
+    suite.scalar("benchmarks", "benchmarks in the campaign")
+        .set(static_cast<double>(report.benchmarks.size()));
+    suite.scalar("mean_reduction",
+                 "mean per-benchmark reduction factor")
+        .set(report.meanReduction);
+    suite.scalar("suite_reduction",
+                 "total frames / total representatives")
+        .set(report.suiteReduction);
+    suite.scalar("wall_seconds", "campaign wall time")
+        .set(report.wallSeconds);
+    suite.scalar("pool_utilization",
+                 "busy worker share of pool job time")
+        .set(report.poolUtilization);
+}
+
+} // namespace msim::batch

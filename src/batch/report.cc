@@ -1,0 +1,322 @@
+#include "batch/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "resilience/artifact.hh"
+
+namespace msim::batch
+{
+
+const gpusim::Metric kMetrics[kNumMetrics] = {
+    gpusim::Metric::Cycles,
+    gpusim::Metric::DramAccesses,
+    gpusim::Metric::L2Accesses,
+    gpusim::Metric::TileCacheAccesses,
+};
+
+const char *const kMetricKeys[kNumMetrics] = {"cycles", "dram", "l2",
+                                              "tile"};
+
+namespace
+{
+
+util::Json
+metricObject(const double values[kNumMetrics])
+{
+    util::Json obj = util::Json::object();
+    for (std::size_t m = 0; m < kNumMetrics; ++m)
+        obj.set(kMetricKeys[m], values[m]);
+    return obj;
+}
+
+resilience::Expected<void>
+metricObjectInto(const util::Json *obj, const char *what,
+                 double out[kNumMetrics])
+{
+    if (!obj || !obj->isObject())
+        return resilience::errorf(resilience::Errc::BadFormat,
+                                  "report: missing object '%s'", what);
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+        const util::Json *v = obj->find(kMetricKeys[m]);
+        if (!v || !v->isNumber())
+            return resilience::errorf(
+                resilience::Errc::BadFormat,
+                "report: missing number '%s.%s'", what,
+                kMetricKeys[m]);
+        out[m] = v->asNumber();
+    }
+    return {};
+}
+
+resilience::Expected<double>
+numberAt(const util::Json &obj, const char *key)
+{
+    const util::Json *v = obj.find(key);
+    if (!v || !v->isNumber())
+        return resilience::errorf(resilience::Errc::BadFormat,
+                                  "report: missing number '%s'", key);
+    return v->asNumber();
+}
+
+} // namespace
+
+void
+CampaignReport::computeAggregates()
+{
+    totalFrames = 0.0;
+    totalRepresentatives = 0.0;
+    meanReduction = 0.0;
+    suiteReduction = 0.0;
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+        meanErrorPercent[m] = 0.0;
+        maxErrorPercent[m] = 0.0;
+    }
+    if (benchmarks.empty())
+        return;
+    for (const BenchmarkReport &b : benchmarks) {
+        totalFrames += static_cast<double>(b.frames);
+        totalRepresentatives += static_cast<double>(b.representatives);
+        meanReduction += b.reduction;
+        for (std::size_t m = 0; m < kNumMetrics; ++m) {
+            meanErrorPercent[m] += b.errorPercent[m];
+            maxErrorPercent[m] =
+                std::max(maxErrorPercent[m], b.errorPercent[m]);
+        }
+    }
+    const double n = static_cast<double>(benchmarks.size());
+    meanReduction /= n;
+    for (std::size_t m = 0; m < kNumMetrics; ++m)
+        meanErrorPercent[m] /= n;
+    if (totalRepresentatives > 0.0)
+        suiteReduction = totalFrames / totalRepresentatives;
+}
+
+util::Json
+CampaignReport::toJson() const
+{
+    util::Json root = util::Json::object();
+    root.set("schema", kSchema);
+    root.set("threads", threads);
+
+    util::Json rows = util::Json::array();
+    for (const BenchmarkReport &b : benchmarks) {
+        util::Json row = util::Json::object();
+        row.set("alias", b.alias);
+        row.set("frames", b.frames);
+        row.set("resumed_frames", b.resumedFrames);
+        row.set("k", b.chosenK);
+        row.set("representatives", b.representatives);
+        row.set("reduction", b.reduction);
+        row.set("error_percent", metricObject(b.errorPercent));
+        row.set("wall_seconds", b.wallSeconds);
+        row.set("cache", b.cacheStatus);
+        rows.push(std::move(row));
+    }
+    root.set("benchmarks", std::move(rows));
+
+    util::Json suite = util::Json::object();
+    suite.set("benchmarks", benchmarks.size());
+    suite.set("total_frames", totalFrames);
+    suite.set("total_representatives", totalRepresentatives);
+    suite.set("mean_reduction", meanReduction);
+    suite.set("suite_reduction", suiteReduction);
+    suite.set("mean_error_percent", metricObject(meanErrorPercent));
+    suite.set("max_error_percent", metricObject(maxErrorPercent));
+    suite.set("wall_seconds", wallSeconds);
+    suite.set("pool_utilization", poolUtilization);
+    root.set("suite", std::move(suite));
+    return root;
+}
+
+resilience::Expected<CampaignReport>
+CampaignReport::fromJson(const util::Json &json)
+{
+    const util::Json *schema = json.find("schema");
+    if (!schema || !schema->isString())
+        return resilience::errorf(resilience::Errc::BadFormat,
+                                  "report: missing 'schema'");
+    if (schema->asString() != kSchema)
+        return resilience::errorf(
+            resilience::Errc::BadVersion,
+            "report: schema '%s', expected '%s'",
+            schema->asString().c_str(), kSchema);
+
+    CampaignReport report;
+    if (auto threads = numberAt(json, "threads"); threads.ok())
+        report.threads = static_cast<std::size_t>(*threads);
+    else
+        return threads.error();
+
+    const util::Json *rows = json.find("benchmarks");
+    if (!rows || !rows->isArray())
+        return resilience::errorf(resilience::Errc::BadFormat,
+                                  "report: missing 'benchmarks'");
+    for (const util::Json &row : rows->items()) {
+        BenchmarkReport b;
+        const util::Json *alias = row.find("alias");
+        if (!alias || !alias->isString())
+            return resilience::errorf(resilience::Errc::BadFormat,
+                                      "report: row missing 'alias'");
+        b.alias = alias->asString();
+        struct {
+            const char *key;
+            std::size_t *out;
+        } counts[] = {
+            {"frames", &b.frames},
+            {"resumed_frames", &b.resumedFrames},
+            {"k", &b.chosenK},
+            {"representatives", &b.representatives},
+        };
+        for (const auto &field : counts) {
+            auto v = numberAt(row, field.key);
+            if (!v.ok())
+                return v.error();
+            *field.out = static_cast<std::size_t>(*v);
+        }
+        auto reduction = numberAt(row, "reduction");
+        if (!reduction.ok())
+            return reduction.error();
+        b.reduction = *reduction;
+        auto errors = metricObjectInto(row.find("error_percent"),
+                                       "error_percent",
+                                       b.errorPercent);
+        if (!errors.ok())
+            return errors.error();
+        auto wall = numberAt(row, "wall_seconds");
+        if (!wall.ok())
+            return wall.error();
+        b.wallSeconds = *wall;
+        if (const util::Json *cache = row.find("cache"))
+            b.cacheStatus = cache->asString();
+        report.benchmarks.push_back(std::move(b));
+    }
+
+    const util::Json *suite = json.find("suite");
+    if (!suite || !suite->isObject())
+        return resilience::errorf(resilience::Errc::BadFormat,
+                                  "report: missing 'suite'");
+    struct {
+        const char *key;
+        double *out;
+    } suiteFields[] = {
+        {"total_frames", &report.totalFrames},
+        {"total_representatives", &report.totalRepresentatives},
+        {"mean_reduction", &report.meanReduction},
+        {"suite_reduction", &report.suiteReduction},
+        {"wall_seconds", &report.wallSeconds},
+        {"pool_utilization", &report.poolUtilization},
+    };
+    for (const auto &field : suiteFields) {
+        auto v = numberAt(*suite, field.key);
+        if (!v.ok())
+            return v.error();
+        *field.out = *v;
+    }
+    auto meanErr = metricObjectInto(suite->find("mean_error_percent"),
+                                    "suite.mean_error_percent",
+                                    report.meanErrorPercent);
+    if (!meanErr.ok())
+        return meanErr.error();
+    auto maxErr = metricObjectInto(suite->find("max_error_percent"),
+                                   "suite.max_error_percent",
+                                   report.maxErrorPercent);
+    if (!maxErr.ok())
+        return maxErr.error();
+    return report;
+}
+
+resilience::Expected<void>
+CampaignReport::save(const std::string &path) const
+{
+    return resilience::atomicWriteFile(path, toJson().dump());
+}
+
+resilience::Expected<CampaignReport>
+CampaignReport::load(const std::string &path)
+{
+    auto text = resilience::readFileToString(path);
+    if (!text.ok())
+        return text.error();
+    auto json = util::Json::parse(*text);
+    if (!json.ok())
+        return json.error();
+    return fromJson(*json);
+}
+
+Thresholds::Thresholds()
+{
+    for (std::size_t m = 0; m < kNumMetrics; ++m)
+        maxErrorPercent[m] = std::numeric_limits<double>::infinity();
+}
+
+resilience::Expected<Thresholds>
+Thresholds::fromJson(const util::Json &json)
+{
+    const util::Json *schema = json.find("schema");
+    if (!schema || schema->asString() != kSchema)
+        return resilience::errorf(
+            resilience::Errc::BadVersion,
+            "thresholds: missing or unknown schema (expected '%s')",
+            kSchema);
+    Thresholds limits;
+    if (const util::Json *errs = json.find("max_error_percent")) {
+        for (std::size_t m = 0; m < kNumMetrics; ++m)
+            if (const util::Json *v = errs->find(kMetricKeys[m]))
+                limits.maxErrorPercent[m] = v->asNumber();
+    }
+    if (const util::Json *v = json.find("min_reduction"))
+        limits.minReduction = v->asNumber();
+    if (const util::Json *v = json.find("min_mean_reduction"))
+        limits.minMeanReduction = v->asNumber();
+    return limits;
+}
+
+resilience::Expected<Thresholds>
+Thresholds::load(const std::string &path)
+{
+    auto text = resilience::readFileToString(path);
+    if (!text.ok())
+        return text.error();
+    auto json = util::Json::parse(*text);
+    if (!json.ok())
+        return json.error();
+    return fromJson(*json);
+}
+
+std::vector<std::string>
+checkThresholds(const CampaignReport &report, const Thresholds &limits)
+{
+    std::vector<std::string> violations;
+    char line[160];
+    for (const BenchmarkReport &b : report.benchmarks) {
+        for (std::size_t m = 0; m < kNumMetrics; ++m) {
+            if (b.errorPercent[m] > limits.maxErrorPercent[m]) {
+                std::snprintf(line, sizeof(line),
+                              "%s: %s error %.4f%% exceeds limit "
+                              "%.4f%%",
+                              b.alias.c_str(), kMetricKeys[m],
+                              b.errorPercent[m],
+                              limits.maxErrorPercent[m]);
+                violations.emplace_back(line);
+            }
+        }
+        if (b.reduction < limits.minReduction) {
+            std::snprintf(line, sizeof(line),
+                          "%s: reduction %.2fx below floor %.2fx",
+                          b.alias.c_str(), b.reduction,
+                          limits.minReduction);
+            violations.emplace_back(line);
+        }
+    }
+    if (report.meanReduction < limits.minMeanReduction) {
+        std::snprintf(line, sizeof(line),
+                      "suite: mean reduction %.2fx below floor %.2fx",
+                      report.meanReduction, limits.minMeanReduction);
+        violations.emplace_back(line);
+    }
+    return violations;
+}
+
+} // namespace msim::batch

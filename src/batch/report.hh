@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The campaign's machine-readable accuracy report — the artifact CI
+ * gates on. A CampaignReport holds one row per benchmark (chosen k,
+ * reduction factor, relative error for the four Fig. 7 metrics, wall
+ * time, cache provenance) plus suite-level aggregates, serializes to
+ * a versioned `campaign.json` via an atomic write, and parses back
+ * bit-for-bit so threshold checks and regression diffs run on exactly
+ * the numbers the campaign produced. Thresholds mirror the report
+ * shape; checkThresholds() returns human-readable violations,
+ * one per breached limit.
+ */
+
+#ifndef MSIM_BATCH_REPORT_HH
+#define MSIM_BATCH_REPORT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/frame_stats.hh"
+#include "resilience/expected.hh"
+#include "util/json.hh"
+
+namespace msim::batch
+{
+
+/** The four reported metrics, in Fig. 7 order. */
+constexpr std::size_t kNumMetrics = 4;
+extern const gpusim::Metric kMetrics[kNumMetrics];
+/** JSON keys of the metrics: "cycles", "dram", "l2", "tile". */
+extern const char *const kMetricKeys[kNumMetrics];
+
+struct BenchmarkReport
+{
+    std::string alias;
+    std::size_t frames = 0;
+    /** Frames recovered from a checkpoint left by a killed run. */
+    std::size_t resumedFrames = 0;
+    std::size_t chosenK = 0;
+    std::size_t representatives = 0;
+    double reduction = 0.0;
+    double errorPercent[kNumMetrics] = {};
+    double wallSeconds = 0.0;
+    /**
+     * Ground-truth provenance: "fresh" (served from a verified
+     * cache), "rebuilt" (stale/corrupt cache regenerated), "built"
+     * (no cache existed).
+     */
+    std::string cacheStatus = "built";
+};
+
+struct CampaignReport
+{
+    static constexpr const char *kSchema = "megsim-campaign-v1";
+
+    std::size_t threads = 0;
+    std::vector<BenchmarkReport> benchmarks;
+
+    // Suite aggregates, derived by computeAggregates().
+    double totalFrames = 0.0;
+    double totalRepresentatives = 0.0;
+    /** Mean of the per-benchmark reduction factors. */
+    double meanReduction = 0.0;
+    /** totalFrames / totalRepresentatives (the paper's headline). */
+    double suiteReduction = 0.0;
+    double meanErrorPercent[kNumMetrics] = {};
+    double maxErrorPercent[kNumMetrics] = {};
+    double wallSeconds = 0.0;
+    /** busy worker seconds / (workers * job seconds), in [0, 1]. */
+    double poolUtilization = 0.0;
+
+    void computeAggregates();
+
+    util::Json toJson() const;
+    static resilience::Expected<CampaignReport>
+    fromJson(const util::Json &json);
+
+    /** Atomic write (temp file + rename) of toJson(). */
+    resilience::Expected<void> save(const std::string &path) const;
+    static resilience::Expected<CampaignReport>
+    load(const std::string &path);
+};
+
+/** CI gate limits; absent fields stay permissive. */
+struct Thresholds
+{
+    static constexpr const char *kSchema = "megsim-thresholds-v1";
+
+    /** Per-benchmark ceiling on each metric's relative error (%). */
+    double maxErrorPercent[kNumMetrics];
+    /** Per-benchmark floor on the reduction factor. */
+    double minReduction = 0.0;
+    /** Suite floor on the mean reduction factor. */
+    double minMeanReduction = 0.0;
+
+    Thresholds();
+
+    static resilience::Expected<Thresholds>
+    fromJson(const util::Json &json);
+    static resilience::Expected<Thresholds>
+    load(const std::string &path);
+};
+
+/**
+ * Every limit the report breaches, as ready-to-print lines naming the
+ * benchmark, metric, measured value and limit. Empty = gate passes.
+ */
+std::vector<std::string> checkThresholds(const CampaignReport &report,
+                                         const Thresholds &limits);
+
+} // namespace msim::batch
+
+#endif // MSIM_BATCH_REPORT_HH

@@ -80,13 +80,6 @@ activityToRow(const gpusim::FrameActivity &act)
     return row;
 }
 
-/** What one ground-truth worker hands back to the committer. */
-struct GroundTruthFrame
-{
-    gpusim::FrameStats stats;
-    gpusim::FrameActivity activity;
-};
-
 gpusim::FrameActivity
 activityFromRow(const std::vector<double> &row, std::size_t vs,
                 std::size_t fs)
@@ -134,28 +127,29 @@ BenchmarkData::checkpointStem() const
            "_" + keyHex;
 }
 
-bool
+CacheProbe
 BenchmarkData::loadActivityCache()
 {
     auto loaded = resilience::readCsvArtifact(cachePath("activity"),
                                               key_, "activity");
     if (!loaded.ok()) {
-        if (loaded.error().code != resilience::Errc::NotFound)
-            ++regeneratedCounter();
-        return false;
+        if (loaded.error().code == resilience::Errc::NotFound)
+            return CacheProbe::Missing;
+        ++regeneratedCounter();
+        return CacheProbe::Invalid;
     }
     const util::CsvTable &table = *loaded;
     const std::size_t vs = scene_->numVertexShaders();
     const std::size_t fs = scene_->numFragmentShaders();
     if (table.header.size() != 4 + vs + fs ||
         table.rows.size() != scene_->numFrames())
-        return false;
+        return CacheProbe::Invalid;
 
     activities_.clear();
     activities_.reserve(table.rows.size());
     for (const std::vector<double> &row : table.rows)
         activities_.push_back(activityFromRow(row, vs, fs));
-    return true;
+    return CacheProbe::Loaded;
 }
 
 void
@@ -169,25 +163,47 @@ BenchmarkData::storeActivityCache() const
                                        key_, "activity");
 }
 
-bool
+CacheProbe
 BenchmarkData::loadStatsCache()
 {
     auto loaded =
         resilience::readCsvArtifact(cachePath("stats"), key_, "stats");
     if (!loaded.ok()) {
-        if (loaded.error().code != resilience::Errc::NotFound)
-            ++regeneratedCounter();
-        return false;
+        if (loaded.error().code == resilience::Errc::NotFound)
+            return CacheProbe::Missing;
+        ++regeneratedCounter();
+        return CacheProbe::Invalid;
     }
     const util::CsvTable &table = *loaded;
     if (table.header != gpusim::FrameStats::csvHeader() ||
         table.rows.size() != scene_->numFrames())
-        return false;
+        return CacheProbe::Invalid;
     stats_.clear();
     stats_.reserve(table.rows.size());
     for (const std::vector<double> &row : table.rows)
         stats_.push_back(gpusim::FrameStats::fromCsvRow(row));
-    return true;
+    return CacheProbe::Loaded;
+}
+
+CacheProbe
+BenchmarkData::probeCaches()
+{
+    if (complete())
+        return CacheProbe::Loaded;
+    if (cacheDir_.empty())
+        return CacheProbe::Missing;
+    const CacheProbe stats = loadStatsCache();
+    const CacheProbe activity = loadActivityCache();
+    if (stats == CacheProbe::Loaded &&
+        activity == CacheProbe::Loaded) {
+        haveStats_ = true;
+        haveActivities_ = true;
+        return CacheProbe::Loaded;
+    }
+    if (stats == CacheProbe::Invalid ||
+        activity == CacheProbe::Invalid)
+        return CacheProbe::Invalid;
+    return CacheProbe::Missing;
 }
 
 void
@@ -206,7 +222,8 @@ BenchmarkData::activities()
 {
     if (haveActivities_)
         return activities_;
-    if (!cacheDir_.empty() && loadActivityCache()) {
+    if (!cacheDir_.empty() &&
+        loadActivityCache() == CacheProbe::Loaded) {
         haveActivities_ = true;
         return activities_;
     }
@@ -255,101 +272,30 @@ BenchmarkData::frameStats()
 {
     if (haveStats_)
         return stats_;
-    if (!cacheDir_.empty() && loadStatsCache()) {
+    if (!cacheDir_.empty() && loadStatsCache() == CacheProbe::Loaded) {
         haveStats_ = true;
         return stats_;
     }
 
-    // The expensive pass: cycle-level simulation of every frame. The
-    // functional activities fall out of the same pass for free. The
-    // pass checkpoints after every frame so a killed run resumes from
-    // the last completed frame; frames simulate cold/independent, so
-    // a resumed run is identical to an uninterrupted one.
+    // The expensive pass: cycle-level simulation of every frame,
+    // factored into GroundTruthPass so batch campaigns can splice many
+    // benchmarks' frames into one shared pool job. Frames fan out
+    // across the pool (thread-local simulators, cold per frame); the
+    // commit lambda runs on the calling thread in frame order, which
+    // keeps checkpoint journal appends serialized and the files
+    // bit-identical to a serial run.
     obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
                                      "ground-truth");
-    const std::size_t total = scene_->numFrames();
-    const std::size_t vs = scene_->numVertexShaders();
-    const std::size_t fs = scene_->numFragmentShaders();
-
-    std::unique_ptr<resilience::Checkpoint> ckpt;
-    std::size_t start = 0;
-    stats_.clear();
-    std::vector<gpusim::FrameActivity> acts;
-    if (!cacheDir_.empty() && checkpointingEnabled()) {
-        createCacheDir(cacheDir_);
-        ckpt = std::make_unique<resilience::Checkpoint>(
-            checkpointStem(), key_, total,
-            gpusim::FrameStats::csvHeader().size(), 4 + vs + fs);
-        start = ckpt->resume();
-        stats_.reserve(total);
-        acts.reserve(total);
-        for (std::size_t f = 0; f < start; ++f) {
-            stats_.push_back(gpusim::FrameStats::fromCsvRow(
-                ckpt->statsRows()[f]));
-            acts.push_back(
-                activityFromRow(ckpt->activityRows()[f], vs, fs));
-        }
-    } else {
-        stats_.reserve(total);
-        acts.reserve(total);
-    }
-
-    // Frames fan out across the pool (thread-local simulators, cold
-    // per frame); the commit lambda runs on the calling thread in
-    // frame order, which keeps checkpoint journal appends serialized
-    // and the files bit-identical to a serial run.
-    gpusim::SceneBinding binding(*scene_);
     exec::Pool &pool = exec::Pool::global();
-    std::vector<std::unique_ptr<gpusim::TimingSimulator>> sims(
-        pool.workers());
-    const resilience::WatchdogConfig watchdog =
-        resilience::WatchdogConfig::fromEnv();
-    obs::Heartbeat heartbeat(total, "ground truth " + scene_->name);
+    GroundTruthPass gt(*this, pool.workers());
     auto pass = pool.parallelMapOrdered<GroundTruthFrame>(
-        total - start,
-        [&](std::size_t i, std::size_t w)
-            -> resilience::Expected<GroundTruthFrame> {
-            const std::size_t f = start + i;
-            if (resilience::FaultInjector::global().hangFrame(f))
-                return resilience::errorf(
-                    resilience::Errc::FrameTimeout,
-                    "frame %zu hung (injected)", f);
-            if (!sims[w])
-                sims[w] = std::make_unique<gpusim::TimingSimulator>(
-                    config_, binding);
-            GroundTruthFrame out;
-            out.stats =
-                sims[w]->simulate(scene_->frames[f], &out.activity);
-            if (watchdog.cycleBudget &&
-                out.stats.cycles > watchdog.cycleBudget)
-                return resilience::errorf(
-                    resilience::Errc::FrameTimeout,
-                    "frame %zu blew the cycle budget (%llu > %llu)",
-                    f,
-                    static_cast<unsigned long long>(out.stats.cycles),
-                    static_cast<unsigned long long>(
-                        watchdog.cycleBudget));
-            if (watchdog.wallBudgetSeconds > 0.0 &&
-                sims[w]->lastFrameWallSeconds() >
-                    watchdog.wallBudgetSeconds)
-                return resilience::errorf(
-                    resilience::Errc::FrameTimeout,
-                    "frame %zu blew the wall budget (%.3fs > %.3fs)",
-                    f, sims[w]->lastFrameWallSeconds(),
-                    watchdog.wallBudgetSeconds);
-            return out;
+        gt.remaining(),
+        [&](std::size_t i, std::size_t w) {
+            return gt.produce(i, w);
         },
         [&](std::size_t i, GroundTruthFrame &&frame) {
-            stats_.push_back(std::move(frame.stats));
-            acts.push_back(std::move(frame.activity));
-            if (ckpt)
-                ckpt->append(stats_.back().toCsvRow(),
-                             activityToRow(acts.back()));
-            resilience::FaultInjector::global().maybeKillAfterFrame(
-                start + i);
-            heartbeat.tick(stats_.size());
+            gt.commit(i, std::move(frame));
         });
-    heartbeat.finish();
     if (!pass.ok()) {
         // The journal already holds the frames committed before the
         // failure; a rerun resumes from there instead of starting
@@ -358,19 +304,110 @@ BenchmarkData::frameStats()
                    scene_->name.c_str(),
                    pass.error().message.c_str());
     }
-    haveStats_ = true;
-    if (!haveActivities_) {
-        activities_ = std::move(acts);
-        haveActivities_ = true;
-    }
-    if (!cacheDir_.empty()) {
-        createCacheDir(cacheDir_);
-        storeStatsCache();
-        storeActivityCache();
-    }
-    if (ckpt)
-        ckpt->discard();
+    gt.finish();
     return stats_;
+}
+
+GroundTruthPass::GroundTruthPass(BenchmarkData &data,
+                                 std::size_t workers)
+    : data_(&data), total_(data.scene_->numFrames()),
+      watchdog_(resilience::WatchdogConfig::fromEnv())
+{
+    const std::size_t vs = data.scene_->numVertexShaders();
+    const std::size_t fs = data.scene_->numFragmentShaders();
+    stats_.reserve(total_);
+    acts_.reserve(total_);
+    if (!data.cacheDir_.empty() && checkpointingEnabled()) {
+        createCacheDir(data.cacheDir_);
+        ckpt_ = std::make_unique<resilience::Checkpoint>(
+            data.checkpointStem(), data.key_, total_,
+            gpusim::FrameStats::csvHeader().size(), 4 + vs + fs);
+        start_ = ckpt_->resume();
+        for (std::size_t f = 0; f < start_; ++f) {
+            stats_.push_back(gpusim::FrameStats::fromCsvRow(
+                ckpt_->statsRows()[f]));
+            acts_.push_back(
+                activityFromRow(ckpt_->activityRows()[f], vs, fs));
+        }
+    }
+    binding_ =
+        std::make_unique<gpusim::SceneBinding>(*data.scene_);
+    sims_.resize(workers ? workers : 1);
+    heartbeat_ = std::make_unique<obs::Heartbeat>(
+        total_, "ground truth " + data.scene_->name);
+}
+
+// Out of line so the unique_ptr members see complete types; an
+// unfinished pass keeps its checkpoint for the next resume.
+GroundTruthPass::~GroundTruthPass() = default;
+
+resilience::Expected<GroundTruthFrame>
+GroundTruthPass::produce(std::size_t i, std::size_t w)
+{
+    const std::size_t f = start_ + i;
+    if (resilience::FaultInjector::global().hangFrame(f))
+        return resilience::errorf(resilience::Errc::FrameTimeout,
+                                  "frame %zu hung (injected)", f);
+    if (!sims_[w])
+        sims_[w] = std::make_unique<gpusim::TimingSimulator>(
+            data_->config_, *binding_);
+    GroundTruthFrame out;
+    out.stats =
+        sims_[w]->simulate(data_->scene_->frames[f], &out.activity);
+    if (watchdog_.cycleBudget &&
+        out.stats.cycles > watchdog_.cycleBudget)
+        return resilience::errorf(
+            resilience::Errc::FrameTimeout,
+            "frame %zu blew the cycle budget (%llu > %llu)", f,
+            static_cast<unsigned long long>(out.stats.cycles),
+            static_cast<unsigned long long>(watchdog_.cycleBudget));
+    if (watchdog_.wallBudgetSeconds > 0.0 &&
+        sims_[w]->lastFrameWallSeconds() >
+            watchdog_.wallBudgetSeconds)
+        return resilience::errorf(
+            resilience::Errc::FrameTimeout,
+            "frame %zu blew the wall budget (%.3fs > %.3fs)", f,
+            sims_[w]->lastFrameWallSeconds(),
+            watchdog_.wallBudgetSeconds);
+    return out;
+}
+
+void
+GroundTruthPass::commit(std::size_t i, GroundTruthFrame &&frame)
+{
+    stats_.push_back(std::move(frame.stats));
+    acts_.push_back(std::move(frame.activity));
+    if (ckpt_)
+        ckpt_->append(stats_.back().toCsvRow(),
+                      activityToRow(acts_.back()));
+    resilience::FaultInjector::global().maybeKillAfterFrame(start_ +
+                                                            i);
+    heartbeat_->tick(stats_.size());
+    ++committed_;
+}
+
+void
+GroundTruthPass::finish()
+{
+    heartbeat_->finish();
+    if (start_ + committed_ != total_)
+        sim::fatal("ground-truth pass of '%s' finished at %zu of %zu "
+                   "frames",
+                   data_->scene_->name.c_str(), start_ + committed_,
+                   total_);
+    data_->stats_ = std::move(stats_);
+    data_->haveStats_ = true;
+    if (!data_->haveActivities_) {
+        data_->activities_ = std::move(acts_);
+        data_->haveActivities_ = true;
+    }
+    if (!data_->cacheDir_.empty()) {
+        createCacheDir(data_->cacheDir_);
+        data_->storeStatsCache();
+        data_->storeActivityCache();
+    }
+    if (ckpt_)
+        ckpt_->discard();
 }
 
 std::vector<double>

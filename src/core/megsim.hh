@@ -19,7 +19,25 @@
 #include "gpusim/frame_stats.hh"
 #include "gpusim/functional_simulator.hh"
 #include "gpusim/gpu_config.hh"
+#include "resilience/watchdog.hh"
+#include "resilience/expected.hh"
 #include "util/image.hh"
+
+namespace msim::gpusim
+{
+class SceneBinding;
+class TimingSimulator;
+} // namespace msim::gpusim
+
+namespace msim::obs
+{
+class Heartbeat;
+} // namespace msim::obs
+
+namespace msim::resilience
+{
+class Checkpoint;
+} // namespace msim::resilience
 
 namespace msim::megsim
 {
@@ -265,6 +283,13 @@ struct MegsimConfig
     std::size_t projectedDims = 24;
 };
 
+/** Outcome of probing a benchmark's on-disk ground-truth caches. */
+enum class CacheProbe {
+    Loaded,  // both artifacts verified and loaded into memory
+    Missing, // at least one artifact absent, none corrupt
+    Invalid, // at least one artifact stale/corrupt (regeneration due)
+};
+
 /**
  * A benchmark's per-frame ground truth, computed lazily and cached on
  * disk (keyed by scene content hash and GPU-config fingerprint, so
@@ -301,11 +326,25 @@ class BenchmarkData
     /** Scene/config fingerprint keying caches and checkpoints. */
     std::uint64_t cacheKey() const { return key_; }
 
+    /**
+     * Attempt to satisfy both passes from the disk caches without
+     * simulating anything: Loaded means activities() and frameStats()
+     * are now in memory and free; Missing/Invalid mean a ground-truth
+     * pass is due (Invalid additionally flags that a stale or corrupt
+     * artifact was found and counted under resilience.cache.*).
+     */
+    CacheProbe probeCaches();
+
+    /** Both passes already in memory (cache hit or pass complete). */
+    bool complete() const { return haveStats_ && haveActivities_; }
+
   private:
+    friend class GroundTruthPass;
+
     std::string checkpointStem() const;
-    bool loadActivityCache();
+    CacheProbe loadActivityCache();
     void storeActivityCache() const;
-    bool loadStatsCache();
+    CacheProbe loadStatsCache();
     void storeStatsCache() const;
 
     const gfx::SceneTrace *scene_;
@@ -316,6 +355,70 @@ class BenchmarkData
     std::vector<gpusim::FrameStats> stats_;
     bool haveActivities_ = false;
     bool haveStats_ = false;
+};
+
+/** What one ground-truth worker hands to the ordered committer. */
+struct GroundTruthFrame
+{
+    gpusim::FrameStats stats;
+    gpusim::FrameActivity activity;
+};
+
+/**
+ * The checkpointed cycle-level ground-truth pass of ONE benchmark,
+ * exposed as produce/commit halves so a driver can run it through an
+ * exec::Pool job of its own choosing — BenchmarkData::frameStats()
+ * runs one pass as a private pool job, batch::Campaign splices the
+ * frames of many passes into a single shared job. The split preserves
+ * the frameStats() contract exactly: checkpoint resume on
+ * construction, watchdog + fault hooks per frame, journal appends in
+ * strict frame order from commit() (caller thread only), caches
+ * stored and the checkpoint discarded by finish(). Frames simulate
+ * cold, so any interleaving of produce() calls yields bit-identical
+ * results.
+ */
+class GroundTruthPass
+{
+  public:
+    /** Resumes the checkpoint (if any); @p workers sizes the
+     *  thread-local simulator slots. */
+    GroundTruthPass(BenchmarkData &data, std::size_t workers);
+    ~GroundTruthPass();
+
+    BenchmarkData &data() { return *data_; }
+
+    /** Frames still to simulate; produce/commit indices are
+     *  [0, remaining()). */
+    std::size_t remaining() const { return total_ - start_; }
+
+    /** Frames recovered from a previous run's checkpoint. */
+    std::size_t resumedFrames() const { return start_; }
+
+    /** Simulate local frame @p i on worker @p w (any thread). */
+    resilience::Expected<GroundTruthFrame>
+    produce(std::size_t i, std::size_t w);
+
+    /** Journal local frame @p i; caller thread, in order. */
+    void commit(std::size_t i, GroundTruthFrame &&frame);
+
+    /**
+     * All frames committed: publish stats/activities into the
+     * BenchmarkData, store the cache artifacts, drop the checkpoint.
+     */
+    void finish();
+
+  private:
+    BenchmarkData *data_;
+    std::size_t total_ = 0;
+    std::size_t start_ = 0;
+    std::size_t committed_ = 0;
+    std::unique_ptr<resilience::Checkpoint> ckpt_;
+    std::unique_ptr<gpusim::SceneBinding> binding_;
+    std::vector<std::unique_ptr<gpusim::TimingSimulator>> sims_;
+    std::vector<gpusim::FrameStats> stats_;
+    std::vector<gpusim::FrameActivity> acts_;
+    std::unique_ptr<obs::Heartbeat> heartbeat_;
+    resilience::WatchdogConfig watchdog_;
 };
 
 /** One end-to-end application of the methodology. */

@@ -125,6 +125,7 @@ Pool::runShare(std::size_t worker,
     obs::PhaseProfilerOverride phaseShard(
         shards_[worker]->profiler);
     tlsInsideJob = true;
+    const double shareT0 = obs::wallSeconds();
 
     auto execute = [&](std::size_t item) {
         // Items above the first known error are cancelled; every item
@@ -170,6 +171,7 @@ Pool::runShare(std::size_t worker,
         }
     }
 
+    busySeconds_[worker] += obs::wallSeconds() - shareT0;
     tlsInsideJob = false;
 }
 
@@ -222,10 +224,12 @@ Pool::run(std::size_t n, Chunking chunking, std::size_t chunkSize,
     if (workers_ == 1 || n == 1 || tlsInsideJob)
         return runSerial(n, fn, progress);
 
+    const double jobT0 = obs::wallSeconds();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         n_ = n;
         chunking_ = chunking;
+        busySeconds_.assign(workers_, 0.0);
         chunk_ = chunkSize
                      ? chunkSize
                      : (n + workers_ * 4 - 1) / (workers_ * 4);
@@ -276,6 +280,14 @@ Pool::run(std::size_t n, Chunking chunking, std::size_t chunkSize,
             jobSkipped_.load(std::memory_order_relaxed));
     poolCounter("wait_seconds",
                 "caller time blocked waiting on workers") += waited;
+    double busy = 0.0;
+    for (double s : busySeconds_)
+        busy += s;
+    poolCounter("busy_seconds",
+                "summed worker wall time inside job shares") += busy;
+    poolCounter("job_seconds",
+                "caller wall time spent inside pool jobs") +=
+        obs::wallSeconds() - jobT0;
 
     if (errIndex_.load(std::memory_order_relaxed) != kNoError) {
         std::lock_guard<std::mutex> lock(errMutex_);

@@ -193,6 +193,11 @@ class Pool
     std::atomic<std::uint64_t> jobChunks_{0};
     std::atomic<std::uint64_t> jobItems_{0};
     std::atomic<std::uint64_t> jobSkipped_{0};
+    // Per-worker wall seconds spent inside the current job's share;
+    // each worker writes only its own slot, the caller folds them into
+    // exec.pool.busy_seconds after the job (utilization = busy /
+    // (workers * job_seconds)).
+    std::vector<double> busySeconds_;
 };
 
 } // namespace msim::exec

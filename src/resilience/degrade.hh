@@ -22,22 +22,10 @@
 #include "core/megsim.hh"
 #include "gpusim/timing_simulator.hh"
 #include "resilience/expected.hh"
+#include "resilience/watchdog.hh"
 
 namespace msim::resilience
 {
-
-/** Per-frame simulation budgets; 0 disables a check. */
-struct WatchdogConfig
-{
-    double wallBudgetSeconds = 0.0;
-    std::uint64_t cycleBudget = 0;
-
-    /**
-     * MEGSIM_FRAME_BUDGET_MS caps per-frame wall time,
-     * MEGSIM_FRAME_CYCLE_BUDGET caps simulated cycles.
-     */
-    static WatchdogConfig fromEnv();
-};
 
 /**
  * Simulates single frames under a watchdog. A frame targeted by a

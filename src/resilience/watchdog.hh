@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Per-frame simulation budgets shared by the watchdog-guarded
+ * simulators (resilience/degrade.hh) and the ground-truth pass
+ * (core/megsim.hh). Split out so core headers don't pull in the whole
+ * degradation layer.
+ */
+
+#ifndef MSIM_RESILIENCE_WATCHDOG_HH
+#define MSIM_RESILIENCE_WATCHDOG_HH
+
+#include <cstdint>
+
+namespace msim::resilience
+{
+
+/** Per-frame simulation budgets; 0 disables a check. */
+struct WatchdogConfig
+{
+    double wallBudgetSeconds = 0.0;
+    std::uint64_t cycleBudget = 0;
+
+    /**
+     * MEGSIM_FRAME_BUDGET_MS caps per-frame wall time,
+     * MEGSIM_FRAME_CYCLE_BUDGET caps simulated cycles.
+     */
+    static WatchdogConfig fromEnv();
+};
+
+} // namespace msim::resilience
+
+#endif // MSIM_RESILIENCE_WATCHDOG_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * End-to-end test for `megsim-cli campaign`. The harness passes the
+ * built binary's path as argv[1] (see tests/CMakeLists.txt). Covers
+ * the report artifact, the --check gate and the CLI's distinct exit
+ * codes: 0 ok, 3 load failure, 4 cache verification failure, 5
+ * threshold breach.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+std::string cliPath;
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::filesystem::path
+tempDir()
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        "megsim_campaign_cli_test";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/**
+ * Run the CLI with @p args under a bounded frame limit and a cache
+ * dir inside the scratch dir; returns the CLI's exit code.
+ */
+int
+runCli(const std::string &args, const std::filesystem::path &log)
+{
+    const std::string cmd =
+        "MEGSIM_FRAME_LIMIT=6 MEGSIM_CACHE_DIR=" +
+        (tempDir() / "cache").string() + " " + cliPath + " " + args +
+        " > " + log.string() + " 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+} // namespace
+
+TEST(CampaignCli, WritesVersionedReportAndExitsZero)
+{
+    ASSERT_FALSE(cliPath.empty()) << "pass megsim-cli path as argv[1]";
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path json = dir / "campaign.json";
+    const std::filesystem::path log = dir / "run.log";
+
+    const int rc = runCli(
+        "campaign --benches hcr,jjo --out " + json.string(), log);
+    ASSERT_EQ(rc, 0) << slurp(log);
+
+    const std::string text = slurp(json);
+    ASSERT_FALSE(text.empty());
+    EXPECT_NE(text.find("\"schema\": \"megsim-campaign-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"alias\": \"hcr\""), std::string::npos);
+    EXPECT_NE(text.find("\"alias\": \"jjo\""), std::string::npos);
+    EXPECT_NE(text.find("\"pool_utilization\""), std::string::npos);
+    EXPECT_NE(slurp(log).find("report: "), std::string::npos);
+}
+
+TEST(CampaignCli, CheckGatePassesPermissiveThresholds)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path limits = dir / "permissive.json";
+    std::ofstream(limits)
+        << "{\"schema\": \"megsim-thresholds-v1\",\n"
+           " \"max_error_percent\": {\"cycles\": 100.0}}\n";
+
+    const std::filesystem::path log = dir / "pass.log";
+    const int rc = runCli("campaign --benches hcr --out " +
+                              (dir / "p.json").string() + " --check " +
+                              limits.string(),
+                          log);
+    EXPECT_EQ(rc, 0) << slurp(log);
+    EXPECT_NE(slurp(log).find("threshold check passed"),
+              std::string::npos);
+}
+
+TEST(CampaignCli, ThresholdBreachExitsFive)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path limits = dir / "strict.json";
+    std::ofstream(limits)
+        << "{\"schema\": \"megsim-thresholds-v1\",\n"
+           " \"min_reduction\": 1000000.0}\n";
+
+    const std::filesystem::path log = dir / "breach.log";
+    const int rc = runCli("campaign --benches hcr --out " +
+                              (dir / "b.json").string() + " --check " +
+                              limits.string(),
+                          log);
+    EXPECT_EQ(rc, 5) << slurp(log);
+    EXPECT_NE(slurp(log).find("threshold check FAILED"),
+              std::string::npos);
+}
+
+TEST(CampaignCli, UnknownBenchmarkExitsThree)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path log = dir / "unknown.log";
+    const int rc = runCli("campaign --benches nosuchbench", log);
+    EXPECT_EQ(rc, 3) << slurp(log);
+}
+
+TEST(CampaignCli, MissingThresholdsFileExitsThreeBeforeRunning)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path log = dir / "badcheck.log";
+    const int rc = runCli(
+        "campaign --benches hcr --check /nonexistent/limits.json",
+        log);
+    EXPECT_EQ(rc, 3) << slurp(log);
+    // The failing path is named, and the campaign never started.
+    EXPECT_NE(slurp(log).find("/nonexistent/limits.json"),
+              std::string::npos);
+}
+
+TEST(CampaignCli, CorruptCacheFailsVerifyWithExitFour)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path cache = dir / "cache";
+    const std::filesystem::path log = dir / "verify.log";
+
+    // Populate the cache, then damage every stats artifact in it.
+    ASSERT_EQ(runCli("campaign --benches hcr --out " +
+                         (dir / "v.json").string(),
+                     log),
+              0)
+        << slurp(log);
+    ASSERT_TRUE(std::filesystem::exists(cache));
+    bool corrupted = false;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(cache)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find("stats") == std::string::npos ||
+            name.find(".csv") == std::string::npos)
+            continue;
+        std::fstream f(entry.path(), std::ios::in | std::ios::out);
+        f.seekp(0);
+        f << "CORRUPTED";
+        corrupted = true;
+    }
+    ASSERT_TRUE(corrupted) << "no stats cache artifacts found";
+
+    const int rc = runCli("verify-cache --bench hcr --cache-dir " +
+                              cache.string(),
+                          log);
+    EXPECT_EQ(rc, 4) << slurp(log);
+    EXPECT_NE(slurp(log).find("CORRUPT"), std::string::npos);
+}
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && argv[1][0] != '-') {
+        cliPath = argv[1];
+        // Hide the extra argument from gtest's flag parser.
+        for (int i = 1; i + 1 < argc; ++i)
+            argv[i] = argv[i + 1];
+        --argc;
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

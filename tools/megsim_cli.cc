@@ -21,13 +21,25 @@
  *                           [--purge]
  *       Integrity-check the benchmark's cache artifacts (header,
  *       version, fingerprint, checksum). --purge deletes corrupt
- *       files so the next run regenerates them. Exits 1 on
- *       corruption.
+ *       files so the next run regenerates them.
+ *
+ *   megsim-cli campaign [--benches A,B,C] [--out campaign.json]
+ *                       [--check thresholds.json] [--cache-dir DIR]
+ *       Run the full MEGsim pipeline for the whole benchmark suite
+ *       through one shared worker pool and write the machine-readable
+ *       accuracy report CI gates on. --check compares the report
+ *       against a thresholds file and fails on any regression.
  *
  * Common options: --scale S (workload complexity), --baseline (use
  * the full Table I GPU instead of the scaled evaluation profile),
  * --threads N (worker-pool size; overrides MEGSIM_THREADS, 1 = exact
  * serial execution).
+ *
+ * Exit codes are distinct per failure class so CI can gate on them:
+ * 0 success, 1 runtime/simulation failure, 2 usage, 3 load failure
+ * (unknown alias, missing/unreadable input file), 4 cache
+ * verification failure, 5 threshold breach. Failures print the
+ * offending path or alias.
  */
 
 #include <cstdio>
@@ -37,7 +49,9 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "batch/campaign.hh"
 #include "core/megsim.hh"
 #include "exec/pool.hh"
 #include "gpusim/timing_simulator.hh"
@@ -51,14 +65,25 @@ namespace
 
 using namespace msim;
 
+// Distinct per failure class so CI can gate on the code alone.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitLoadFailure = 3;
+constexpr int kExitCacheFailure = 4;
+constexpr int kExitThresholdBreach = 5;
+
 struct Options
 {
     std::string command;
     std::string bench = "bbr1";
+    std::string benches; // campaign: comma-separated aliases
     std::string filter = "*";
     std::string out = "trace.json";
     std::string csv;
     std::string cacheDir;
+    std::string check; // campaign: thresholds file
+    std::string report = "campaign.json";
     std::size_t frameBegin = 0;
     std::size_t frameEnd = 1;
     double scale = 1.0;
@@ -78,13 +103,15 @@ usage(const char *argv0)
         "       %s resume [--bench ALIAS] [--cache-dir DIR]\n"
         "       %s verify-cache [--bench ALIAS] [--cache-dir DIR]"
         " [--purge]\n"
+        "       %s campaign [--benches A,B,C] [--out REPORT.json]"
+        " [--check THRESHOLDS.json] [--cache-dir DIR]\n"
         "options: --scale S, --baseline, --threads N\n"
         "benches:",
-        argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0);
     for (const std::string &alias : workloads::benchmarkNames())
         std::fprintf(stderr, " %s", alias.c_str());
     std::fprintf(stderr, "\n");
-    return 2;
+    return kExitUsage;
 }
 
 bool
@@ -131,6 +158,17 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.out = v;
+            opt.report = v;
+        } else if (arg == "--benches") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.benches = v;
+        } else if (arg == "--check") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.check = v;
         } else if (arg == "--csv") {
             const char *v = next();
             if (!v)
@@ -162,7 +200,8 @@ parse(int argc, char **argv, Options &opt)
         }
     }
     return opt.command == "stats" || opt.command == "trace" ||
-           opt.command == "resume" || opt.command == "verify-cache";
+           opt.command == "resume" || opt.command == "verify-cache" ||
+           opt.command == "campaign";
 }
 
 std::string
@@ -186,7 +225,9 @@ openBenchmarkData(const Options &opt, gfx::SceneTrace &scene,
     auto built =
         workloads::tryBuildBenchmark(opt.bench, opt.scale, frame_limit);
     if (!built.ok()) {
-        std::fprintf(stderr, "%s\n", built.error().message.c_str());
+        std::fprintf(stderr, "cannot load benchmark '%s': %s\n",
+                     opt.bench.c_str(),
+                     built.error().message.c_str());
         return false;
     }
     scene = std::move(*built);
@@ -204,7 +245,7 @@ runResume(const Options &opt)
     gfx::SceneTrace scene;
     std::unique_ptr<megsim::BenchmarkData> data;
     if (!openBenchmarkData(opt, scene, data))
-        return 2;
+        return kExitLoadFailure;
 
     const std::vector<gpusim::FrameStats> &stats = data->frameStats();
     double cycles = 0.0;
@@ -215,7 +256,7 @@ runResume(const Options &opt)
                 exec::Pool::global().workers());
     obs::processRegistry().dump(std::cout, "resilience.*");
     obs::processRegistry().dump(std::cout, "exec.pool.*");
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -224,7 +265,7 @@ runVerifyCache(const Options &opt)
     gfx::SceneTrace scene;
     std::unique_ptr<megsim::BenchmarkData> data;
     if (!openBenchmarkData(opt, scene, data))
-        return 2;
+        return kExitLoadFailure;
 
     bool corrupt = false;
     for (const char *kind : {"activity", "stats"}) {
@@ -249,7 +290,105 @@ runVerifyCache(const Options &opt)
             std::printf("%-8s purged    %s\n", kind, path.c_str());
         }
     }
-    return corrupt ? 1 : 0;
+    return corrupt ? kExitCacheFailure : kExitOk;
+}
+
+std::vector<std::string>
+splitCsvList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t comma = text.find(',', begin);
+        const std::string piece =
+            text.substr(begin, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - begin);
+        if (!piece.empty())
+            out.push_back(piece);
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return out;
+}
+
+int
+runCampaign(const Options &opt)
+{
+    batch::CampaignConfig config = batch::CampaignConfig::fromEnv();
+    config.benches = splitCsvList(opt.benches);
+    if (!opt.cacheDir.empty())
+        config.cacheDir = opt.cacheDir;
+    if (opt.scale != 1.0)
+        config.scale = opt.scale;
+
+    // Load the thresholds BEFORE the (expensive) campaign, so a typoed
+    // path fails in seconds, not hours.
+    batch::Thresholds limits;
+    if (!opt.check.empty()) {
+        auto loaded = batch::Thresholds::load(opt.check);
+        if (!loaded.ok()) {
+            std::fprintf(stderr,
+                         "cannot load thresholds '%s': %s\n",
+                         opt.check.c_str(),
+                         loaded.error().message.c_str());
+            return kExitLoadFailure;
+        }
+        limits = *loaded;
+    }
+
+    batch::Campaign campaign(config);
+    auto result = campaign.run();
+    if (!result.ok()) {
+        const bool load =
+            result.error().code == resilience::Errc::UnknownAlias;
+        std::fprintf(stderr, "campaign failed: %s\n",
+                     result.error().message.c_str());
+        return load ? kExitLoadFailure : kExitRuntime;
+    }
+
+    if (auto saved = result->save(opt.report); !saved.ok()) {
+        std::fprintf(stderr, "cannot write report '%s': %s\n",
+                     opt.report.c_str(),
+                     saved.error().message.c_str());
+        return kExitRuntime;
+    }
+
+    std::printf("# campaign: %zu benchmarks, %zu threads, "
+                "mean reduction %.1fx, suite reduction %.1fx, "
+                "pool utilization %.0f%%\n",
+                result->benchmarks.size(), result->threads,
+                result->meanReduction, result->suiteReduction,
+                result->poolUtilization * 100.0);
+    std::printf("%-10s %8s %4s %6s %10s %8s %8s %8s %8s  %s\n",
+                "benchmark", "frames", "k", "reps", "reduction",
+                "cycles%", "dram%", "l2%", "tile%", "cache");
+    for (const batch::BenchmarkReport &b : result->benchmarks)
+        std::printf("%-10s %8zu %4zu %6zu %9.1fx %8.3f %8.3f %8.3f "
+                    "%8.3f  %s\n",
+                    b.alias.c_str(), b.frames, b.chosenK,
+                    b.representatives, b.reduction, b.errorPercent[0],
+                    b.errorPercent[1], b.errorPercent[2],
+                    b.errorPercent[3], b.cacheStatus.c_str());
+    std::printf("report: %s\n", opt.report.c_str());
+    obs::processRegistry().dump(std::cout, "campaign.suite.*");
+
+    if (!opt.check.empty()) {
+        const std::vector<std::string> violations =
+            batch::checkThresholds(*result, limits);
+        if (!violations.empty()) {
+            std::fprintf(stderr,
+                         "threshold check FAILED against %s:\n",
+                         opt.check.c_str());
+            for (const std::string &violation : violations)
+                std::fprintf(stderr, "  %s\n", violation.c_str());
+            return kExitThresholdBreach;
+        }
+        std::printf("threshold check passed against %s\n",
+                    opt.check.c_str());
+    }
+    return kExitOk;
 }
 
 int
@@ -258,14 +397,16 @@ runStats(const Options &opt)
     auto built = workloads::tryBuildBenchmark(opt.bench, opt.scale,
                                               opt.frameBegin + 1);
     if (!built.ok()) {
-        std::fprintf(stderr, "%s\n", built.error().message.c_str());
-        return 2;
+        std::fprintf(stderr, "cannot load benchmark '%s': %s\n",
+                     opt.bench.c_str(),
+                     built.error().message.c_str());
+        return kExitLoadFailure;
     }
     const gfx::SceneTrace scene = std::move(*built);
     if (opt.frameBegin >= scene.numFrames()) {
         std::fprintf(stderr, "frame %zu outside the %zu-frame scene\n",
                      opt.frameBegin, scene.numFrames());
-        return 1;
+        return kExitLoadFailure;
     }
     const gpusim::GpuConfig config =
         opt.baseline ? gpusim::GpuConfig::baseline()
@@ -289,14 +430,16 @@ runTrace(const Options &opt)
     auto built = workloads::tryBuildBenchmark(opt.bench, opt.scale,
                                               opt.frameEnd);
     if (!built.ok()) {
-        std::fprintf(stderr, "%s\n", built.error().message.c_str());
-        return 2;
+        std::fprintf(stderr, "cannot load benchmark '%s': %s\n",
+                     opt.bench.c_str(),
+                     built.error().message.c_str());
+        return kExitLoadFailure;
     }
     const gfx::SceneTrace scene = std::move(*built);
     if (opt.frameBegin >= scene.numFrames()) {
         std::fprintf(stderr, "frame %zu outside the %zu-frame scene\n",
                      opt.frameBegin, scene.numFrames());
-        return 1;
+        return kExitLoadFailure;
     }
     const gpusim::GpuConfig config =
         opt.baseline ? gpusim::GpuConfig::baseline()
@@ -345,5 +488,7 @@ main(int argc, char **argv)
         return runTrace(opt);
     if (opt.command == "resume")
         return runResume(opt);
+    if (opt.command == "campaign")
+        return runCampaign(opt);
     return runVerifyCache(opt);
 }
