@@ -10,7 +10,8 @@ FunctionalSimulator::FunctionalSimulator(const GpuConfig &config,
     : config_(config), binding_(&binding),
       geometry_(config, binding),
       depth_(static_cast<std::size_t>(config.screenWidth) *
-             config.screenHeight)
+             config.screenHeight),
+      depthStamp_(depth_.size(), 0)
 {
     const gfx::SceneTrace &scene = binding.scene();
     shaderColumn_.resize(scene.shaders.size(), 0);
@@ -27,7 +28,8 @@ FunctionalSimulator::FunctionalSimulator(const GpuConfig &config,
 FrameActivity
 FunctionalSimulator::simulate(const gfx::FrameTrace &frame)
 {
-    return simulate(geometry_.process(frame));
+    geometry_.processInto(frame, ir_);
+    return simulate(ir_);
 }
 
 FrameActivity
@@ -38,7 +40,9 @@ FunctionalSimulator::simulate(const GeometryIR &ir)
     act.vsCounts.assign(numVs_, 0);
     act.fsCounts.assign(numFs_, 0);
 
-    std::fill(depth_.begin(), depth_.end(), 1.0f);
+    // Clear the z buffer by advancing the epoch (stale stamps read as
+    // the clear value 1.0f) — no full-screen fill per frame.
+    ++depthEpoch_;
     const int width = static_cast<int>(config_.screenWidth);
     const util::BBox2i screen{0, 0, width,
                               static_cast<int>(config_.screenHeight)};
@@ -61,12 +65,17 @@ FunctionalSimulator::simulate(const GeometryIR &ir)
                                 static_cast<std::size_t>(width) +
                             static_cast<std::size_t>(quad.x +
                                                      (s & 1));
+                        const float d =
+                            depthStamp_[pix] == depthEpoch_
+                                ? depth_[pix]
+                                : 1.0f;
                         if (draw.transparent) {
                             // Blended: shaded, no depth write.
-                            if (quad.z[s] <= depth_[pix])
+                            if (quad.z[s] <= d)
                                 ++shaded;
-                        } else if (quad.z[s] <= depth_[pix]) {
+                        } else if (quad.z[s] <= d) {
                             depth_[pix] = quad.z[s];
+                            depthStamp_[pix] = depthEpoch_;
                             ++shaded;
                         }
                     }

@@ -48,7 +48,13 @@ class FunctionalSimulator
     std::vector<std::uint32_t> shaderColumn_; // global id -> column
     std::size_t numVs_ = 0;
     std::size_t numFs_ = 0;
-    std::vector<float> depth_; // full-screen z buffer
+    // Full-screen z buffer, cleared per frame by advancing the epoch:
+    // a pixel whose stamp is stale reads as the clear value 1.0f, so
+    // no per-frame fill of the whole screen is needed.
+    std::vector<float> depth_;
+    std::vector<std::uint64_t> depthStamp_;
+    std::uint64_t depthEpoch_ = 0;
+    GeometryIR ir_; // reused across simulate(FrameTrace) calls
 };
 
 } // namespace msim::gpusim

@@ -58,9 +58,25 @@ class GeometryProcessor
 
     GeometryIR process(const gfx::FrameTrace &frame) const;
 
+    /**
+     * Like process(), but fills @p out in place so a caller looping
+     * over frames reuses the draw/triangle allocations of the
+     * previous frame, along with the processor's own per-vertex
+     * scratch (the values are identical to process()).
+     */
+    void processInto(const gfx::FrameTrace &frame, GeometryIR &out);
+
   private:
+    /** Transform one draw; shared by process() and processInto(). */
+    void transformDraw(const gfx::DrawCall &draw, DrawIR &out,
+                       std::vector<util::Vec2f> &screen,
+                       std::vector<float> &depth) const;
+
     GpuConfig config_;
     const SceneBinding *binding_;
+    // processInto() scratch, reused across frames.
+    std::vector<util::Vec2f> screen_;
+    std::vector<float> depth_;
 };
 
 } // namespace msim::gpusim

@@ -30,25 +30,4 @@ SceneBinding::SceneBinding(const gfx::SceneTrace &scene)
     depthBase_ = next;
 }
 
-sim::Addr
-SceneBinding::texelAddr(std::int32_t textureId, float u, float v) const
-{
-    if (textureId < 0)
-        return tileListBase_; // untextured draws never call this
-    const gfx::Texture &tex =
-        scene_->textures[static_cast<std::size_t>(textureId)];
-    // Wrap-around addressing, nearest texel.
-    const float fu = u - std::floor(u);
-    const float fv = v - std::floor(v);
-    const auto tx = std::min<std::uint32_t>(
-        tex.width - 1,
-        static_cast<std::uint32_t>(fu * static_cast<float>(tex.width)));
-    const auto ty = std::min<std::uint32_t>(
-        tex.height - 1, static_cast<std::uint32_t>(
-                            fv * static_cast<float>(tex.height)));
-    return textureBase_[static_cast<std::size_t>(textureId)] +
-           (static_cast<sim::Addr>(ty) * tex.width + tx) *
-               tex.bytesPerTexel;
-}
-
 } // namespace msim::gpusim

@@ -9,6 +9,8 @@
 #ifndef MSIM_GPUSIM_SCENE_BINDING_HH
 #define MSIM_GPUSIM_SCENE_BINDING_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -35,8 +37,69 @@ class SceneBinding
                static_cast<sim::Addr>(vertex) * kVertexBytes;
     }
 
-    /** Address of the texel nearest to (u, v) in texture 0-level. */
-    sim::Addr texelAddr(std::int32_t textureId, float u, float v) const;
+    /**
+     * A draw's texture, resolved once: base address and the dimension
+     * constants texelAddr() needs, so per-sample addressing is pure
+     * arithmetic with no pointer chase through the scene. The float
+     * dimensions are the exact casts the per-sample path computed.
+     */
+    struct TextureRef
+    {
+        sim::Addr base = 0;
+        float widthF = 0.0f;
+        float heightF = 0.0f;
+        std::uint32_t widthMinus1 = 0;
+        std::uint32_t heightMinus1 = 0;
+        std::uint32_t width = 0;
+        std::uint32_t bytesPerTexel = 0;
+    };
+
+    /** Resolve @p textureId (>= 0) for repeated texelAddr() calls. */
+    TextureRef
+    textureRef(std::int32_t textureId) const
+    {
+        const gfx::Texture &tex =
+            scene_->textures[static_cast<std::size_t>(textureId)];
+        TextureRef ref;
+        ref.base = textureBase_[static_cast<std::size_t>(textureId)];
+        ref.widthF = static_cast<float>(tex.width);
+        ref.heightF = static_cast<float>(tex.height);
+        ref.widthMinus1 = tex.width - 1;
+        ref.heightMinus1 = tex.height - 1;
+        ref.width = tex.width;
+        ref.bytesPerTexel = tex.bytesPerTexel;
+        return ref;
+    }
+
+    /**
+     * Address of the texel nearest to (u, v) in the referenced
+     * texture's 0-level. Inline: this sits on the per-sample hot path
+     * of both pipelines.
+     */
+    static sim::Addr
+    texelAddr(const TextureRef &tex, float u, float v)
+    {
+        // Wrap-around addressing, nearest texel.
+        const float fu = u - std::floor(u);
+        const float fv = v - std::floor(v);
+        const auto tx = std::min<std::uint32_t>(
+            tex.widthMinus1,
+            static_cast<std::uint32_t>(fu * tex.widthF));
+        const auto ty = std::min<std::uint32_t>(
+            tex.heightMinus1,
+            static_cast<std::uint32_t>(fv * tex.heightF));
+        return tex.base +
+               (static_cast<sim::Addr>(ty) * tex.width + tx) *
+                   tex.bytesPerTexel;
+    }
+
+    sim::Addr
+    texelAddr(std::int32_t textureId, float u, float v) const
+    {
+        if (textureId < 0)
+            return tileListBase_; // untextured draws never call this
+        return texelAddr(textureRef(textureId), u, v);
+    }
 
     /** Tile-list scratch region (binning output), per tile. */
     sim::Addr

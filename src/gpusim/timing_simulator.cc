@@ -26,6 +26,19 @@ PipeQueue::reset(std::uint32_t frame)
     frame_ = frame;
 }
 
+void
+PipeQueue::flushStats()
+{
+    if (pendPushes_) {
+        *pushes_ += static_cast<double>(pendPushes_);
+        pendPushes_ = 0;
+    }
+    if (pendStall_) {
+        *stallCycles_ += static_cast<double>(pendStall_);
+        pendStall_ = 0;
+    }
+}
+
 TimingSimulator::TimingSimulator(const GpuConfig &config,
                                  const SceneBinding &binding,
                                  const obs::ObsConfig &obsConfig)
@@ -58,12 +71,14 @@ TimingSimulator::TimingSimulator(const GpuConfig &config,
     vertexProcFree_.resize(std::max(1u, config.numVertexProcessors));
     fragmentProcFree_.resize(
         std::max(1u, config.numFragmentProcessors));
-    earlyZFree_.resize(std::max(1u, config.earlyZInflightQuads));
 
-    tileDepth_.resize(static_cast<std::size_t>(config.tileWidth) *
-                      config.tileHeight);
-    tileOwner_.resize(tileDepth_.size());
-    tileUv_.resize(tileDepth_.size());
+    // Epoch 0 is never used for a tile, so zero-initialized stamps
+    // read as "stale" (depth 1.0f, no owner) from the first frame on.
+    tileZ_.assign(static_cast<std::size_t>(config.tileWidth) *
+                      config.tileHeight,
+                  TileDepthEntry{1.0f, 0});
+    tileOwner_.resize(tileZ_.size());
+    tileUv_.resize(tileZ_.size());
 
     obs::StatsGroup geom = registry_.group("gpu.geometry");
     vsInvocations_ = &geom.scalar("vs_invocations",
@@ -130,42 +145,50 @@ TimingSimulator::TimingSimulator(const GpuConfig &config,
     }
 }
 
-sim::Tick
-TimingSimulator::memAccess(mem::Cache *l1, sim::Tick now,
-                           sim::Addr addr, bool write,
-                           obs::Scalar *dramLines)
+void
+TimingSimulator::flushFrameStats()
 {
-    sim::Tick t = now;
-    if (l1) {
-        const mem::CacheAccess a = l1->access(addr, write);
-        t += l1->config().hitLatency;
-        if (a.writeback) {
-            const mem::CacheAccess wb = l2_.access(a.victimLine, true);
-            if (wb.writeback)
-                dram_.access(t, wb.victimLine, true);
-        }
-        if (a.hit)
-            return t;
-        write = false; // the L2-facing side of a fill is a read
-    }
-    const mem::CacheAccess l2a = l2_.access(addr, write);
-    t += l2_.config().hitLatency;
-    if (l2a.writeback)
-        dram_.access(t, l2a.victimLine, true);
-    if (l2a.hit)
-        return t;
-    const sim::Tick done = dram_.access(t, addr, write);
-    ++*dramLines;
-    trace_.emit("dram", obs::TraceCategory::Dram, frameIndex_, t, done,
-                addr);
-    return done;
+    // Each Scalar was reset at frame start, so every counter receives
+    // exactly one integer-valued add here — exact below 2^53 and
+    // therefore bit-identical to per-event increments. The texture
+    // caches fold one after another into their shared group; every
+    // partial sum is an exact integer, so the order is immaterial.
+    *vsInvocations_ += static_cast<double>(batch_.vsInvocations);
+    *vsInstructions_ += static_cast<double>(batch_.vsInstructions);
+    *geomDramLines_ += static_cast<double>(batch_.geomDramLines);
+    *trianglesBinned_ += static_cast<double>(batch_.triangles);
+    *tileEntries_ += static_cast<double>(batch_.tileEntries);
+    *tileListBytes_ += static_cast<double>(batch_.tileListBytes);
+    *tilingDramLines_ += static_cast<double>(batch_.tilingDramLines);
+    *quads_ += static_cast<double>(batch_.quads);
+    *earlyZKills_ += static_cast<double>(batch_.earlyZKills);
+    *fsInvocations_ += static_cast<double>(batch_.fsInvocations);
+    *fsInstructions_ += static_cast<double>(batch_.fsInstructions);
+    *blendedPixels_ += static_cast<double>(batch_.blendedPixels);
+    *framebufferBytes_ += static_cast<double>(batch_.framebufferBytes);
+    *rasterDramLines_ += static_cast<double>(batch_.rasterDramLines);
+    batch_ = FrameBatch{};
+
+    vertexCache_.flushStats();
+    for (mem::Cache &c : textureCaches_)
+        c.flushStats();
+    tileCache_.flushStats();
+    l2_.flushStats();
+    dram_.flushStats(); // sole flush this frame: latency_avg is exact
+
+    vertexInQueue_.flushStats();
+    vertexOutQueue_.flushStats();
+    triangleQueue_.flushStats();
+    fragmentQueue_.flushStats();
+    colorQueue_.flushStats();
 }
 
 FrameStats
 TimingSimulator::simulate(const gfx::FrameTrace &frame,
                           FrameActivity *activity)
 {
-    return simulate(geometry_.process(frame), activity);
+    geometry_.processInto(frame, ir_);
+    return simulate(ir_, activity);
 }
 
 FrameStats
@@ -191,7 +214,7 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
     colorQueue_.reset(frameIndex_);
     std::fill(vertexProcFree_.begin(), vertexProcFree_.end(), 0);
     std::fill(fragmentProcFree_.begin(), fragmentProcFree_.end(), 0);
-    std::fill(earlyZFree_.begin(), earlyZFree_.end(), 0);
+    batch_ = FrameBatch{};
 
     if (activity) {
         *activity = FrameActivity{};
@@ -205,8 +228,23 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
     const std::size_t numTiles =
         static_cast<std::size_t>(tilesX) * tilesY;
     // Per tile: (draw index, triangle index) in submission order.
-    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
-        bins(numTiles);
+    // Member scratch: clearing keeps each bin's capacity across frames.
+    if (bins_.size() < numTiles)
+        bins_.resize(numTiles);
+    for (std::size_t tile = 0; tile < numTiles; ++tile)
+        bins_[tile].clear();
+
+    // Triangle setup is frame-invariant per triangle; compute it once
+    // (lazily, at the first tile that rasterizes the triangle) and
+    // reuse it in every other tile the triangle was binned into.
+    drawTriOffset_.resize(ir.draws.size());
+    std::size_t totalTris = 0;
+    for (std::size_t di = 0; di < ir.draws.size(); ++di) {
+        drawTriOffset_[di] = totalTris;
+        totalTris += ir.draws[di].triangles.size();
+    }
+    setups_.resize(totalTris);
+    setupDone_.assign(totalTris, 0);
 
     // ---- Geometry + binning --------------------------------------------
     sim::Tick fetchClock = 0;
@@ -228,12 +266,13 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
             const sim::Tick fetchDone = memAccess(
                 &vertexCache_, fetchStart,
                 binding_->vertexAddr(draw.meshId, v), false,
-                geomDramLines_);
+                &batch_.geomDramLines);
             fetchSpan.cover(fetchStart, fetchDone);
 
             const sim::Tick inIssue = vertexInQueue_.reserve(fetchDone);
             sim::Tick &vp = vertexProcFree_[vpRR];
-            vpRR = (vpRR + 1) % vertexProcFree_.size();
+            if (++vpRR == vertexProcFree_.size())
+                vpRR = 0;
             const sim::Tick vpStart = std::max(inIssue, vp);
             const sim::Tick vpDone = vpStart + vsInstr;
             vp = vpDone;
@@ -251,9 +290,8 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
             paSpan.cover(paStart, paDone);
             lastPaDone = paDone;
         }
-        *vsInvocations_ += static_cast<double>(draw.vertexCount);
-        *vsInstructions_ +=
-            static_cast<double>(vsInstr * draw.vertexCount);
+        batch_.vsInvocations += draw.vertexCount;
+        batch_.vsInstructions += vsInstr * draw.vertexCount;
         if (activity) {
             activity->verticesShaded += draw.vertexCount;
             activity->vsCounts[shaderColumn_[draw.vsId]] +=
@@ -294,11 +332,11 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
                                   binding_->tileListAddr(
                                       static_cast<std::uint32_t>(tile),
                                       static_cast<std::uint32_t>(
-                                          bins[tile].size())),
-                                  true, tilingDramLines_));
-                    bins[tile].emplace_back(di, ti);
-                    ++*tileEntries_;
-                    *tileListBytes_ +=
+                                          bins_[tile].size())),
+                                  true, &batch_.tilingDramLines));
+                    bins_[tile].emplace_back(di, ti);
+                    ++batch_.tileEntries;
+                    batch_.tileListBytes +=
                         SceneBinding::kTileListEntryBytes;
                 }
             }
@@ -306,7 +344,7 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
             triangleQueue_.complete(binStart);
             binSpan.cover(binStart, binDone);
             geomDone = std::max(geomDone, binDone);
-            ++*trianglesBinned_;
+            ++batch_.triangles;
         }
         geomDone = std::max(geomDone, lastPaDone);
     }
@@ -327,13 +365,10 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
     sim::Tick clock = geomDone;
     const int tileW = static_cast<int>(config_.tileWidth);
     const int tileH = static_cast<int>(config_.tileHeight);
-    std::size_t fpRR = 0, ezRR = 0, texRR = 0;
-
-    // Deferred (HSR) per-pixel shading bookkeeping.
-    std::vector<std::uint64_t> hsrPixelsPerDraw;
+    std::size_t fpRR = 0, texRR = 0;
 
     for (std::size_t tile = 0; tile < numTiles; ++tile) {
-        if (bins[tile].empty())
+        if (bins_[tile].empty())
             continue;
         const sim::Tick tileStart = clock;
         const int px0 =
@@ -347,13 +382,21 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
             std::min(py0 + tileH,
                      static_cast<int>(config_.screenHeight))};
 
-        std::fill(tileDepth_.begin(), tileDepth_.end(), 1.0f);
-        std::fill(tileOwner_.begin(), tileOwner_.end(), 0u);
+        // Clear the on-chip tile buffers by advancing the epoch: a
+        // pixel whose stamp is stale reads as depth 1.0f / no owner,
+        // exactly what the former per-tile fills produced. On the
+        // (rare) 32-bit wrap, re-zero the stamps so an entry from
+        // 2^32 tiles ago cannot alias the fresh epoch.
+        if (++tileEpoch_ == 0) {
+            for (TileDepthEntry &e : tileZ_)
+                e.stamp = 0;
+            tileEpoch_ = 1;
+        }
 
         // Read the tile list back (one L2 access per line).
         sim::Tick t = clock;
         const std::size_t listLines =
-            (bins[tile].size() * SceneBinding::kTileListEntryBytes +
+            (bins_[tile].size() * SceneBinding::kTileListEntryBytes +
              63) /
             64;
         for (std::size_t line = 0; line < listLines; ++line)
@@ -361,52 +404,77 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
                           binding_->tileListAddr(
                               static_cast<std::uint32_t>(tile),
                               static_cast<std::uint32_t>(line * 4)),
-                          false, tilingDramLines_);
+                          false, &batch_.tilingDramLines);
 
         StageSpan rastSpan, ezSpan, fsSpan, blendSpan, flushSpan;
         sim::Tick rastFree = t;
         sim::Tick blendFree = t;
         sim::Tick tileDone = t;
 
-        auto pixelIndex = [&](int x, int y) {
-            return static_cast<std::size_t>(y - py0) * tileW +
-                   static_cast<std::size_t>(x - px0);
+        // Per-draw constants hoisted out of the per-quad shading path:
+        // the shader's instruction/sample counts and the resolved
+        // texture, refreshed only when the draw changes (bin entries
+        // arrive in draw order, so this is rare).
+        struct DrawHot
+        {
+            std::uint64_t fsInstr = 0;
+            std::uint32_t textureSamples = 0;
+            std::uint32_t fsColumn = 0;
+            SceneBinding::TextureRef tex;
+        };
+        auto makeHot = [&](const DrawIR &draw) {
+            DrawHot h;
+            const gfx::ShaderProgram &fs = scene.shaders[draw.fsId];
+            h.fsInstr = fs.instructionCount();
+            h.textureSamples = fs.textureSamples;
+            h.fsColumn = shaderColumn_[draw.fsId];
+            if (draw.textureId >= 0) {
+                h.tex = binding_->textureRef(draw.textureId);
+            } else {
+                // Untextured fallback: a zero-dimension ref makes
+                // texelAddr() collapse to its base, the same
+                // tile-list-base address the textureId < 0 path
+                // returned (untextured draws never sample anyway).
+                h.tex.base = binding_->tileListAddr(0, 0);
+            }
+            return h;
         };
 
         // Shade one surviving quad: queue -> fragment processor ->
         // texture samples -> blend. Returns the blend-complete time.
-        auto shadeQuad = [&](const DrawIR &draw, sim::Tick ready,
+        auto shadeQuad = [&](const DrawHot &hot, sim::Tick ready,
                              const QuadFragment &quad, int pixels) {
-            const gfx::ShaderProgram &fs = scene.shaders[draw.fsId];
-            const std::uint64_t fsInstr = fs.instructionCount();
+            const std::uint64_t fsInstr = hot.fsInstr;
 
             const sim::Tick fqIssue = fragmentQueue_.reserve(ready);
             sim::Tick &fp = fragmentProcFree_[fpRR];
-            fpRR = (fpRR + 1) % fragmentProcFree_.size();
+            if (++fpRR == fragmentProcFree_.size())
+                fpRR = 0;
             const sim::Tick fpStart = std::max(fqIssue, fp);
             sim::Tick fpDone = fpStart + fsInstr;
             fragmentQueue_.complete(fpStart);
 
-            for (std::uint32_t s = 0; s < fs.textureSamples; ++s) {
+            for (std::uint32_t s = 0; s < hot.textureSamples; ++s) {
                 mem::Cache &tc = textureCaches_[texRR];
-                texRR = (texRR + 1) % textureCaches_.size();
+                if (++texRR == textureCaches_.size())
+                    texRR = 0;
                 const sim::Tick texDone = memAccess(
                     &tc, fpStart,
-                    binding_->texelAddr(draw.textureId,
-                                        quad.uv.x + 0.01f * s,
-                                        quad.uv.y),
-                    false, rasterDramLines_);
+                    SceneBinding::texelAddr(hot.tex,
+                                            quad.uv.x + 0.01f * s,
+                                            quad.uv.y),
+                    false, &batch_.rasterDramLines);
                 fpDone = std::max(fpDone, texDone);
             }
             fp = fpDone;
             fsSpan.cover(fpStart, fpDone);
-            *fsInvocations_ += pixels;
-            *fsInstructions_ += static_cast<double>(
-                fsInstr * static_cast<std::uint64_t>(pixels));
+            batch_.fsInvocations += static_cast<std::uint64_t>(pixels);
+            batch_.fsInstructions +=
+                fsInstr * static_cast<std::uint64_t>(pixels);
             if (activity) {
                 activity->fragmentsShaded +=
                     static_cast<std::uint64_t>(pixels);
-                activity->fsCounts[shaderColumn_[draw.fsId]] +=
+                activity->fsCounts[hot.fsColumn] +=
                     static_cast<std::uint64_t>(pixels);
             }
 
@@ -416,12 +484,18 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
             blendFree = blendDone;
             colorQueue_.complete(blendStart);
             blendSpan.cover(blendStart, blendDone);
-            *blendedPixels_ += pixels;
+            batch_.blendedPixels += static_cast<std::uint64_t>(pixels);
             return blendDone;
         };
 
-        for (const auto &[di, ti] : bins[tile]) {
+        std::uint32_t hotDrawId = ~0u;
+        DrawHot hot;
+        for (const auto &[di, ti] : bins_[tile]) {
             const DrawIR &draw = ir.draws[di];
+            if (di != hotDrawId) {
+                hot = makeHot(draw);
+                hotDrawId = di;
+            }
             const ScreenTriangle &tri = draw.triangles[ti];
             const bool deferOpaque =
                 config_.hsrEnabled && !draw.transparent;
@@ -430,48 +504,89 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
             rastFree +=
                 12 / std::max(1u, config_.rastAttributesPerCycle);
 
-            rasterizeTriangleInTile(
-                tri, tileBox, [&](const QuadFragment &quad) {
+            const std::size_t si = drawTriOffset_[di] + ti;
+            if (!setupDone_[si]) {
+                setups_[si] = setupTriangle(tri);
+                setupDone_[si] = 1;
+            }
+
+            rasterizeSetupInTile(
+                setups_[si], tri, tileBox,
+                [&](const QuadFragment &quad) {
                     const sim::Tick rastDone = ++rastFree;
                     rastSpan.cover(rastDone - 1, rastDone);
-                    ++*quads_;
+                    ++batch_.quads;
 
                     // Early depth test against the on-chip tile
                     // buffer (no memory traffic — the TBR advantage).
-                    sim::Tick &ez = earlyZFree_[ezRR];
-                    ezRR = (ezRR + 1) % earlyZFree_.size();
-                    const sim::Tick ezStart =
-                        std::max(rastDone, ez);
-                    const sim::Tick ezDone = ezStart + 1;
-                    ez = ezDone;
-                    ezSpan.cover(ezStart, ezDone);
+                    // The earlyZInflightQuads-deep availability ring
+                    // never throttles: each quad advances rastFree by
+                    // at least one cycle, so a ring slot written
+                    // ezDone = thatRastDone + 1 one-or-more quads ago
+                    // is always <= the current rastDone. The start
+                    // time max(rastDone, slot) is therefore rastDone
+                    // unconditionally and the unit-latency test
+                    // finishes one cycle later.
+                    const sim::Tick ezDone = rastDone + 1;
+                    ezSpan.cover(rastDone, ezDone);
 
+                    const std::size_t tw =
+                        static_cast<std::size_t>(tileW);
+                    const std::size_t base =
+                        static_cast<std::size_t>(quad.y - py0) * tw +
+                        static_cast<std::size_t>(quad.x - px0);
+                    const std::size_t pixOf[4] = {base, base + 1,
+                                                  base + tw,
+                                                  base + tw + 1};
                     int passing = 0;
-                    for (int s = 0; s < 4; ++s) {
-                        if (!(quad.mask & (1 << s)))
-                            continue;
-                        const int x = quad.x + (s & 1);
-                        const int y = quad.y + (s >> 1);
-                        const std::size_t pix = pixelIndex(x, y);
-                        if (quad.z[s] > tileDepth_[pix])
-                            continue;
-                        ++passing;
-                        if (!draw.transparent) {
-                            tileDepth_[pix] = quad.z[s];
-                            if (deferOpaque) {
-                                tileOwner_[pix] = di + 1;
-                                tileUv_[pix] = quad.uv;
+                    if (!deferOpaque) {
+                        // Select-stores: a failing opaque sample
+                        // writes the entry's own bits back, so the
+                        // buffer is unchanged exactly as if the store
+                        // were skipped — but the depth compare no
+                        // longer forks control flow.
+                        const bool opaque = !draw.transparent;
+                        for (int s = 0; s < 4; ++s) {
+                            if (!(quad.mask & (1 << s)))
+                                continue;
+                            TileDepthEntry &e = tileZ_[pixOf[s]];
+                            const float depth = e.stamp == tileEpoch_
+                                                    ? e.depth
+                                                    : 1.0f;
+                            const bool pass = !(quad.z[s] > depth);
+                            passing += static_cast<int>(pass);
+                            if (opaque) {
+                                e.depth = pass ? quad.z[s] : e.depth;
+                                e.stamp =
+                                    pass ? tileEpoch_ : e.stamp;
                             }
+                        }
+                    } else {
+                        for (int s = 0; s < 4; ++s) {
+                            if (!(quad.mask & (1 << s)))
+                                continue;
+                            const std::size_t pix = pixOf[s];
+                            TileDepthEntry &e = tileZ_[pix];
+                            const float depth = e.stamp == tileEpoch_
+                                                    ? e.depth
+                                                    : 1.0f;
+                            if (quad.z[s] > depth)
+                                continue;
+                            ++passing;
+                            e.depth = quad.z[s];
+                            e.stamp = tileEpoch_;
+                            tileOwner_[pix] = di + 1;
+                            tileUv_[pix] = quad.uv;
                         }
                     }
                     if (passing == 0) {
-                        ++*earlyZKills_;
+                        ++batch_.earlyZKills;
                         return;
                     }
                     if (deferOpaque)
                         return; // shaded after HSR resolve
                     tileDone = std::max(
-                        tileDone, shadeQuad(draw, ezDone, quad,
+                        tileDone, shadeQuad(hot, ezDone, quad,
                                             passing));
                 });
             tileDone = std::max(tileDone, rastFree);
@@ -479,34 +594,37 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
 
         if (config_.hsrEnabled) {
             // Deferred shading: only the visible opaque pixels are
-            // shaded, grouped per draw (PowerVR-style HSR).
-            hsrPixelsPerDraw.assign(ir.draws.size(), 0);
-            for (std::size_t pix = 0; pix < tileOwner_.size(); ++pix)
-                if (tileOwner_[pix])
-                    ++hsrPixelsPerDraw[tileOwner_[pix] - 1];
-            for (std::size_t di = 0; di < hsrPixelsPerDraw.size();
+            // shaded, grouped per draw (PowerVR-style HSR). Under HSR
+            // every opaque depth write also stamped an owner, so the
+            // epoch check is exactly the former owner != 0 test; one
+            // pass counts pixels and records each draw's first uv (the
+            // same one the former ascending per-draw rescan found).
+            hsrPixelsPerDraw_.assign(ir.draws.size(), 0);
+            hsrUv_.resize(ir.draws.size());
+            for (std::size_t pix = 0; pix < tileZ_.size(); ++pix) {
+                if (tileZ_[pix].stamp != tileEpoch_)
+                    continue;
+                const std::uint32_t owner = tileOwner_[pix] - 1;
+                if (++hsrPixelsPerDraw_[owner] == 1)
+                    hsrUv_[owner] = tileUv_[pix];
+            }
+            for (std::size_t di = 0; di < hsrPixelsPerDraw_.size();
                  ++di) {
-                std::uint64_t pixels = hsrPixelsPerDraw[di];
+                std::uint64_t pixels = hsrPixelsPerDraw_[di];
                 if (!pixels)
                     continue;
                 const DrawIR &draw =
                     ir.draws[static_cast<std::uint32_t>(di)];
-                // Find one representative uv for the draw's texels.
+                const DrawHot drawHot = makeHot(draw);
                 QuadFragment quad;
-                for (std::size_t pix = 0; pix < tileOwner_.size();
-                     ++pix) {
-                    if (tileOwner_[pix] == di + 1) {
-                        quad.uv = tileUv_[pix];
-                        break;
-                    }
-                }
+                quad.uv = hsrUv_[di];
                 while (pixels) {
                     const int batch = static_cast<int>(
                         std::min<std::uint64_t>(4, pixels));
                     pixels -= static_cast<std::uint64_t>(batch);
                     tileDone = std::max(
                         tileDone,
-                        shadeQuad(draw, tileDone, quad, batch));
+                        shadeQuad(drawHot, tileDone, quad, batch));
                 }
             }
         }
@@ -530,11 +648,11 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
                                                 x),
                                             static_cast<std::uint32_t>(
                                                 y)),
-                        true, rasterDramLines_));
+                        true, &batch_.rasterDramLines));
             }
         }
         flushSpan.cover(tileDone, flushT);
-        *framebufferBytes_ += static_cast<double>(flushBytes);
+        batch_.framebufferBytes += flushBytes;
         tileDone = flushT;
 
         emitStage("rasterizer", rastSpan);
@@ -563,6 +681,10 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
 FrameStats
 TimingSimulator::harvest(std::uint32_t frameIndex, sim::Tick cycles)
 {
+    // Publish every deferred counter before the registry is read —
+    // from here on the registry is complete and consistent.
+    flushFrameStats();
+
     frameCycles_->set(static_cast<double>(cycles));
     framesSimulated_->set(static_cast<double>(frameIndex));
     frameStallCycles_->set(

@@ -8,18 +8,29 @@
  * counters are what FrameStats is assembled from — there is a single
  * source of truth. Stage/queue/DRAM activity is mirrored into the
  * trace buffer when tracing is enabled.
+ *
+ * Hot-path engineering (see DESIGN.md §6g): per-access counters batch
+ * into integer accumulators and reach the registry in one exact flush
+ * per frame; the on-chip tile buffers clear via an epoch stamp
+ * instead of a per-tile fill; triangle setup is computed once per
+ * triangle and reused across the tiles it was binned into. All of it
+ * keeps every statistic bit-identical to the straightforward model —
+ * the golden suites under tests/perf enforce that.
  */
 
 #ifndef MSIM_GPUSIM_TIMING_SIMULATOR_HH
 #define MSIM_GPUSIM_TIMING_SIMULATOR_HH
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "gpusim/frame_stats.hh"
 #include "gpusim/functional_simulator.hh"
 #include "gpusim/geometry.hh"
 #include "gpusim/gpu_config.hh"
+#include "gpusim/rasterizer.hh"
 #include "gpusim/scene_binding.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -33,8 +44,9 @@ namespace msim::gpusim
  * A bounded pipeline queue, modelled as a ring of slot-free times: a
  * push at time t issues at max(t, time the oldest slot frees), which
  * is exactly the backpressure stall. Counters (pushes, stall cycles,
- * max occupancy proxy) live in the shared registry; long stalls emit
- * trace events.
+ * max occupancy proxy) live in the shared registry but accumulate in
+ * plain integers between flushStats() calls (one flush per frame);
+ * long stalls emit trace events.
  */
 class PipeQueue
 {
@@ -55,12 +67,12 @@ class PipeQueue
         const sim::Tick issue = slotFree > ready ? slotFree : ready;
         if (issue > ready) {
             const sim::Tick stall = issue - ready;
-            *stallCycles_ += static_cast<double>(stall);
+            pendStall_ += stall;
             if (stall >= kTraceStallThreshold)
                 trace_->emit(name_, obs::TraceCategory::Queue, frame_,
                              ready, issue, stall);
         }
-        ++*pushes_;
+        ++pendPushes_;
         return issue;
     }
 
@@ -74,9 +86,13 @@ class PipeQueue
 
     void reset(std::uint32_t frame);
 
+    /** Publish pending counter deltas to the registry (exact). */
+    void flushStats();
+
     std::uint64_t stallCycles() const
     {
-        return static_cast<std::uint64_t>(stallCycles_->value());
+        return static_cast<std::uint64_t>(stallCycles_->value()) +
+               pendStall_;
     }
 
   private:
@@ -86,6 +102,8 @@ class PipeQueue
     std::size_t head_ = 0;
     const char *name_;
     std::uint32_t frame_ = 0;
+    std::uint64_t pendPushes_ = 0;
+    std::uint64_t pendStall_ = 0;
     obs::TraceBuffer *trace_;
     obs::Scalar *pushes_;
     obs::Scalar *stallCycles_;
@@ -137,13 +155,70 @@ class TimingSimulator
     };
 
     /**
+     * One frame's hot-loop counters, batched in integers and flushed
+     * onto the (per-frame reset) registry Scalars in harvest(). The
+     * single integer-valued add per Scalar is exact below 2^53, so
+     * the registry totals are bit-identical to per-event increments.
+     */
+    struct FrameBatch
+    {
+        std::uint64_t vsInvocations = 0;
+        std::uint64_t vsInstructions = 0;
+        std::uint64_t geomDramLines = 0;
+        std::uint64_t triangles = 0;
+        std::uint64_t tileEntries = 0;
+        std::uint64_t tileListBytes = 0;
+        std::uint64_t tilingDramLines = 0;
+        std::uint64_t quads = 0;
+        std::uint64_t earlyZKills = 0;
+        std::uint64_t fsInvocations = 0;
+        std::uint64_t fsInstructions = 0;
+        std::uint64_t blendedPixels = 0;
+        std::uint64_t framebufferBytes = 0;
+        std::uint64_t rasterDramLines = 0;
+    };
+
+    /**
      * Charge an access through @p l1 (may be null for L2-direct
      * streams) -> L2 -> DRAM; returns the completion time.
-     * @p dramLines counts lines that reached DRAM for this requester,
-     * which is what attributes memory energy to pipeline phases.
+     * @p dramLines counts lines that reached DRAM for this requester
+     * (a FrameBatch field), which is what attributes memory energy to
+     * pipeline phases. Inline: every memory reference of a frame
+     * funnels through here.
      */
-    sim::Tick memAccess(mem::Cache *l1, sim::Tick now, sim::Addr addr,
-                        bool write, obs::Scalar *dramLines);
+    sim::Tick
+    memAccess(mem::Cache *l1, sim::Tick now, sim::Addr addr,
+              bool write, std::uint64_t *dramLines)
+    {
+        sim::Tick t = now;
+        if (l1) {
+            const mem::CacheAccess a = l1->accessDeferred(addr, write);
+            t += l1->config().hitLatency;
+            if (a.writeback) {
+                const mem::CacheAccess wb =
+                    l2_.accessDeferred(a.victimLine, true);
+                if (wb.writeback)
+                    dram_.accessDeferred(t, wb.victimLine, true);
+            }
+            if (a.hit)
+                return t;
+            write = false; // the L2-facing side of a fill is a read
+        }
+        const mem::CacheAccess l2a = l2_.accessDeferred(addr, write);
+        t += l2_.config().hitLatency;
+        if (l2a.writeback)
+            dram_.accessDeferred(t, l2a.victimLine, true);
+        if (l2a.hit)
+            return t;
+        const sim::Tick done = dram_.accessDeferred(t, addr, write);
+        ++*dramLines;
+        trace_.emit("dram", obs::TraceCategory::Dram, frameIndex_, t,
+                    done, addr);
+        return done;
+    }
+
+    /** Flush every deferred counter (batch, caches, DRAM, queues). */
+    void flushFrameStats();
 
     FrameStats harvest(std::uint32_t frameIndex, sim::Tick cycles);
 
@@ -169,12 +244,40 @@ class TimingSimulator
     // Programmable / fixed-function unit availability rings.
     std::vector<sim::Tick> vertexProcFree_;
     std::vector<sim::Tick> fragmentProcFree_;
-    std::vector<sim::Tick> earlyZFree_;
+
+    /**
+     * One on-chip depth-buffer pixel: depth plus the epoch stamp that
+     * validates it, fused into 8 bytes so the early-Z test is a single
+     * load. An entry is live only when its stamp matches tileEpoch_,
+     * so "clearing" a tile is one counter increment instead of a fill
+     * (stale entries read as depth 1.0f exactly as a fill would
+     * produce). The 32-bit epoch wraps after 2^32 tiles; the wrap
+     * handler re-zeroes the stamps so no stale entry can alias.
+     */
+    struct TileDepthEntry
+    {
+        float depth;
+        std::uint32_t stamp;
+    };
 
     // Per-frame working state.
-    std::vector<float> tileDepth_;
+    std::vector<TileDepthEntry> tileZ_;
     std::vector<std::uint32_t> tileOwner_; // HSR: winning draw + 1
     std::vector<util::Vec2f> tileUv_;      // HSR: winning sample uv
+    std::uint32_t tileEpoch_ = 0;
+    FrameBatch batch_;
+    GeometryIR ir_; // reused by simulate(FrameTrace) across frames
+    // Per-tile triangle lists, cleared (capacity kept) every frame.
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        bins_;
+    // Lazily built per-triangle rasterizer setups, shared by every
+    // tile a triangle was binned into. Indexed drawTriOffset_[di]+ti.
+    std::vector<TriangleSetup> setups_;
+    std::vector<std::uint8_t> setupDone_;
+    std::vector<std::size_t> drawTriOffset_;
+    // HSR resolve scratch (per tile, only when hsrEnabled).
+    std::vector<std::uint64_t> hsrPixelsPerDraw_;
+    std::vector<util::Vec2f> hsrUv_;
     std::uint32_t frameIndex_ = 0;
     std::string statsDump_; // per-frame registry dump glob
 

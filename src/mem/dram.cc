@@ -5,10 +5,35 @@
 namespace msim::mem
 {
 
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v && (v & (v - 1)) == 0;
+}
+
+std::uint32_t
+log2u(std::uint64_t v)
+{
+    std::uint32_t n = 0;
+    while (v >>= 1)
+        ++n;
+    return n;
+}
+
+} // namespace
+
 Dram::Dram(const DramConfig &config)
     : config_(config), banks_(config.banks ? config.banks : 1),
       ownRegistry_(std::make_unique<obs::StatsRegistry>())
 {
+    rowPow2_ = isPow2(config_.rowBytes);
+    rowShift_ = rowPow2_ ? log2u(config_.rowBytes) : 0;
+    banksPow2_ = isPow2(banks_.size());
+    bankMask_ = banksPow2_ ? banks_.size() - 1 : 0;
+    burstCycles_ = config_.lineBytes / std::max(1u, config_.bytesPerCycle);
     bindStats(ownRegistry_->group("dram"));
 }
 
@@ -36,29 +61,43 @@ Dram::bindStats(obs::StatsGroup stats)
 sim::Tick
 Dram::access(sim::Tick now, sim::Addr addr, bool write)
 {
-    const std::uint64_t row = addr / config_.rowBytes;
-    Bank &bank = banks_[row % banks_.size()];
-
-    const bool rowHit = bank.rowValid && bank.openRow == row;
-    const sim::Tick latency =
-        rowHit ? config_.rowHitLatency : config_.rowMissLatency;
-    const sim::Tick burst =
-        config_.lineBytes / std::max(1u, config_.bytesPerCycle);
-
-    const sim::Tick start =
-        std::max({now, bank.readyAt, channelReadyAt_});
-    const sim::Tick done = start + latency + burst;
-    bank.readyAt = done;
-    bank.openRow = row;
-    bank.rowValid = true;
-    channelReadyAt_ = start + burst;
-
-    ++*transactions_;
-    ++*(write ? writes_ : reads_);
-    *bytes_ += static_cast<double>(config_.lineBytes);
-    ++*(rowHit ? rowHits_ : rowMisses_);
-    latency_->sample(static_cast<double>(done - now));
+    const sim::Tick done = accessDeferred(now, addr, write);
+    flushStats();
     return done;
+}
+
+void
+Dram::flushStats()
+{
+    if (pendTransactions_) {
+        *transactions_ += static_cast<double>(pendTransactions_);
+        pendTransactions_ = 0;
+    }
+    if (pendReads_) {
+        *reads_ += static_cast<double>(pendReads_);
+        pendReads_ = 0;
+    }
+    if (pendWrites_) {
+        *writes_ += static_cast<double>(pendWrites_);
+        pendWrites_ = 0;
+    }
+    if (pendBytes_) {
+        *bytes_ += static_cast<double>(pendBytes_);
+        pendBytes_ = 0;
+    }
+    if (pendRowHits_) {
+        *rowHits_ += static_cast<double>(pendRowHits_);
+        pendRowHits_ = 0;
+    }
+    if (pendRowMisses_) {
+        *rowMisses_ += static_cast<double>(pendRowMisses_);
+        pendRowMisses_ = 0;
+    }
+    if (pendLatencyCount_) {
+        latency_->accumulate(pendLatencySum_, pendLatencyCount_);
+        pendLatencySum_ = 0.0;
+        pendLatencyCount_ = 0;
+    }
 }
 
 void

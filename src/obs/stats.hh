@@ -129,6 +129,20 @@ class Average : public Stat
         ++count_;
     }
 
+    /**
+     * Fold a batch of samples accumulated elsewhere into this stat.
+     * Bit-identical to sampling individually ONLY if @p sum was
+     * accumulated in sample order and this is the sole batch folded
+     * onto a freshly reset average (0.0 + sum == sum); the hot-path
+     * units flush exactly once per frame for that reason.
+     */
+    void
+    accumulate(double sum, std::uint64_t count)
+    {
+        sum_ += sum;
+        count_ += count;
+    }
+
     std::uint64_t count() const { return count_; }
     double value() const override
     {

@@ -11,8 +11,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -123,6 +125,23 @@ expectSameNumbers(const batch::BenchmarkReport &a,
     for (std::size_t m = 0; m < batch::kNumMetrics; ++m)
         EXPECT_EQ(a.errorPercent[m], b.errorPercent[m])
             << context << " metric " << batch::kMetricKeys[m];
+}
+
+/**
+ * The campaign report with every timing-dependent field zeroed: wall
+ * clocks and pool utilization legitimately vary run to run (and the
+ * thread count is the variable under test), so the canonical form
+ * keeps only the deterministic payload the golden comparison guards.
+ */
+std::string
+canonicalReport(batch::CampaignReport report)
+{
+    report.threads = 0;
+    report.wallSeconds = 0.0;
+    report.poolUtilization = 0.0;
+    for (batch::BenchmarkReport &b : report.benchmarks)
+        b.wallSeconds = 0.0;
+    return report.toJson().dump() + "\n";
 }
 
 } // namespace
@@ -333,4 +352,49 @@ TEST_F(BatchTest, SigkilledCampaignResumesFromTheJournal)
     for (std::size_t i = 0; i < benches.size(); ++i)
         expectSameNumbers(resumed->benchmarks[i],
                           expected->benchmarks[i], "resumed");
+}
+
+#ifndef MEGSIM_BATCH_GOLDEN_DIR
+#error "MEGSIM_BATCH_GOLDEN_DIR must point at tests/batch/golden"
+#endif
+
+TEST_F(BatchTest, CanonicalReportMatchesGoldenAtEveryThreadCount)
+{
+    // Golden stats-invariance gate for the hot-path optimization work:
+    // the canonical campaign report (timing fields zeroed) is committed
+    // under tests/batch/golden and every run must reproduce it
+    // byte-for-byte at 1, 2 and 8 threads. Regenerate only after an
+    // intentional model change, with MEGSIM_REGEN_GOLDEN=1.
+    const std::string golden =
+        std::string(MEGSIM_BATCH_GOLDEN_DIR) + "/campaign_hcr_jjo_spd.json";
+
+    auto runAt = [&](std::size_t threads) {
+        exec::Pool::setConfiguredThreads(threads);
+        const std::string cache =
+            path("golden_cache_t" + std::to_string(threads));
+        std::filesystem::create_directories(cache);
+        batch::Campaign campaign(testConfig(cache));
+        auto report = campaign.run();
+        EXPECT_TRUE(report.ok()) << report.error().message;
+        return report.ok() ? canonicalReport(*report) : std::string();
+    };
+
+    const char *regen = std::getenv("MEGSIM_REGEN_GOLDEN");
+    if (regen && regen[0] == '1') {
+        std::ofstream(golden, std::ios::binary | std::ios::trunc)
+            << runAt(1);
+        return;
+    }
+
+    std::ifstream in(golden, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string expected = buf.str();
+    ASSERT_FALSE(expected.empty())
+        << golden << " missing — run with MEGSIM_REGEN_GOLDEN=1 first";
+
+    for (std::size_t threads :
+         {std::size_t(1), std::size_t(2), std::size_t(8)})
+        EXPECT_EQ(runAt(threads), expected)
+            << "campaign report diverged at " << threads << " threads";
 }

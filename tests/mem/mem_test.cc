@@ -96,6 +96,43 @@ TEST(Cache, SharedRegistryExposesDottedCounters)
     EXPECT_DOUBLE_EQ(misses->value(), 1.0);
 }
 
+TEST(Cache, SharedStatsGroupAggregatesAcrossCaches)
+{
+    // Aggregation contract (see cache.hh): N caches bound to the SAME
+    // stats group SUM into the shared counters — registration is
+    // idempotent and every cache increments the one registered Stat.
+    // The timing simulator relies on this for its per-core texture
+    // caches, which all report as gpu.texture_cache.*.
+    obs::StatsRegistry registry;
+    obs::StatsGroup group = registry.group("gpu").group("tex");
+    Cache a(smallCache(), group);
+    Cache b(smallCache(), group);
+    Cache c(smallCache(), group);
+
+    a.access(0x0000, false); // miss
+    a.access(0x0000, false); // hit
+    b.access(0x0000, false); // miss (separate array state)
+    c.access(0x0000, false); // miss
+    c.access(0x0040, false); // miss
+
+    const obs::Stat *accesses = registry.find("gpu.tex.accesses");
+    const obs::Stat *hits = registry.find("gpu.tex.hits");
+    const obs::Stat *misses = registry.find("gpu.tex.misses");
+    ASSERT_NE(accesses, nullptr);
+    ASSERT_NE(hits, nullptr);
+    ASSERT_NE(misses, nullptr);
+    EXPECT_DOUBLE_EQ(accesses->value(), 5.0)
+        << "shared counters must sum, not overwrite";
+    EXPECT_DOUBLE_EQ(hits->value(), 1.0);
+    EXPECT_DOUBLE_EQ(misses->value(), 4.0);
+
+    // The accessors read the shared Stat too, so on a shared-group
+    // cache they report the GROUP aggregate, not per-cache traffic.
+    EXPECT_EQ(a.accesses(), 5u);
+    EXPECT_EQ(b.accesses(), 5u);
+    EXPECT_EQ(c.misses(), 4u);
+}
+
 TEST(Dram, RowHitIsFasterThanRowMiss)
 {
     DramConfig config;

@@ -30,6 +30,16 @@
  *       accuracy report CI gates on. --check compares the report
  *       against a thresholds file and fails on any regression.
  *
+ *   megsim-cli perf [--frames N] [--out BENCH_gpusim.json]
+ *                   [--benches A,B,C] [--compare BASELINE.json]
+ *                   [--band PCT]
+ *       Run the hot-path microbench (pure timing-simulator
+ *       throughput, no cache/pool) and emit the versioned
+ *       BENCH_gpusim.json perf report. --compare prints warn-only
+ *       deviations beyond the +-PCT band (default 25) against a
+ *       committed baseline — wall clocks are machine-dependent, so
+ *       deviations never fail the run.
+ *
  * Common options: --scale S (workload complexity), --baseline (use
  * the full Table I GPU instead of the scaled evaluation profile),
  * --threads N (worker-pool size; overrides MEGSIM_THREADS, 1 = exact
@@ -53,6 +63,7 @@
 
 #include "batch/campaign.hh"
 #include "core/megsim.hh"
+#include "perf/perf.hh"
 #include "exec/pool.hh"
 #include "gpusim/timing_simulator.hh"
 #include "obs/stats.hh"
@@ -84,12 +95,15 @@ struct Options
     std::string cacheDir;
     std::string check; // campaign: thresholds file
     std::string report = "campaign.json";
+    std::string compare; // perf: baseline report for warn-only diff
+    double band = 25.0;  // perf: comparison band (percent)
     std::size_t frameBegin = 0;
     std::size_t frameEnd = 1;
     double scale = 1.0;
     std::size_t threads = 0; // 0 = keep MEGSIM_THREADS / hw default
     bool baseline = false;
     bool purge = false;
+    bool outSet = false;
 };
 
 int
@@ -105,9 +119,11 @@ usage(const char *argv0)
         " [--purge]\n"
         "       %s campaign [--benches A,B,C] [--out REPORT.json]"
         " [--check THRESHOLDS.json] [--cache-dir DIR]\n"
+        "       %s perf [--frames N] [--out BENCH_gpusim.json]"
+        " [--benches A,B,C] [--compare BASELINE.json] [--band PCT]\n"
         "options: --scale S, --baseline, --threads N\n"
         "benches:",
-        argv0, argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0, argv0);
     for (const std::string &alias : workloads::benchmarkNames())
         std::fprintf(stderr, " %s", alias.c_str());
     std::fprintf(stderr, "\n");
@@ -159,6 +175,7 @@ parse(int argc, char **argv, Options &opt)
                 return false;
             opt.out = v;
             opt.report = v;
+            opt.outSet = true;
         } else if (arg == "--benches") {
             const char *v = next();
             if (!v)
@@ -169,6 +186,16 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.check = v;
+        } else if (arg == "--compare") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.compare = v;
+        } else if (arg == "--band") {
+            const char *v = next();
+            if (!v || std::atof(v) <= 0.0)
+                return false;
+            opt.band = std::atof(v);
         } else if (arg == "--csv") {
             const char *v = next();
             if (!v)
@@ -201,7 +228,7 @@ parse(int argc, char **argv, Options &opt)
     }
     return opt.command == "stats" || opt.command == "trace" ||
            opt.command == "resume" || opt.command == "verify-cache" ||
-           opt.command == "campaign";
+           opt.command == "campaign" || opt.command == "perf";
 }
 
 std::string
@@ -392,6 +419,75 @@ runCampaign(const Options &opt)
 }
 
 int
+runPerf(const Options &opt)
+{
+    perf::PerfOptions options;
+    options.benches = splitCsvList(opt.benches);
+    options.frames = opt.frameBegin; // --frames N = frames per bench
+    options.scale = opt.scale;
+    options.baseline = opt.baseline;
+
+    // Load the baseline up front so a typoed path fails fast.
+    perf::PerfReport baselineReport;
+    bool haveBaseline = false;
+    if (!opt.compare.empty()) {
+        auto loaded = perf::PerfReport::load(opt.compare);
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "cannot load baseline '%s': %s\n",
+                         opt.compare.c_str(),
+                         loaded.error().message.c_str());
+            return kExitLoadFailure;
+        }
+        baselineReport = *loaded;
+        haveBaseline = true;
+    }
+
+    auto report = perf::runHotpath(options);
+    if (!report.ok()) {
+        const bool load =
+            report.error().code == resilience::Errc::UnknownAlias;
+        std::fprintf(stderr, "perf failed: %s\n",
+                     report.error().message.c_str());
+        return load ? kExitLoadFailure : kExitRuntime;
+    }
+
+    std::printf("# perf: %zu benchmarks, frame limit %zu, "
+                "%.1f frames/sec, %.1f Mcycles/sec\n",
+                report->benches.size(), report->frameLimit,
+                report->framesPerSec, report->mcyclesPerSec);
+    std::printf("%-10s %8s %10s %12s %14s\n", "benchmark", "frames",
+                "wall_s", "frames/s", "Mcycles/s");
+    for (const perf::BenchPerf &b : report->benches)
+        std::printf("%-10s %8zu %10.3f %12.1f %14.1f\n",
+                    b.alias.c_str(), b.frames, b.wallSeconds,
+                    b.framesPerSec, b.mcyclesPerSec);
+    for (const perf::PhaseSplit &p : report->phases)
+        std::printf("  phase %-10s %10.3f s\n", p.name.c_str(),
+                    p.seconds);
+
+    const std::string out =
+        opt.outSet ? opt.out : std::string("BENCH_gpusim.json");
+    if (auto saved = report->save(out); !saved.ok()) {
+        std::fprintf(stderr, "cannot write report '%s': %s\n",
+                     out.c_str(), saved.error().message.c_str());
+        return kExitRuntime;
+    }
+    std::printf("report: %s\n", out.c_str());
+
+    if (haveBaseline) {
+        const std::vector<std::string> warnings =
+            perf::compareReports(*report, baselineReport, opt.band);
+        // Warn-only by design: wall clocks differ across machines.
+        for (const std::string &w : warnings)
+            std::fprintf(stderr, "perf warning: %s\n", w.c_str());
+        if (warnings.empty())
+            std::printf("within +-%.0f%% of baseline %s\n", opt.band,
+                        opt.compare.c_str());
+    }
+    return kExitOk;
+}
+
+int
 runStats(const Options &opt)
 {
     auto built = workloads::tryBuildBenchmark(opt.bench, opt.scale,
@@ -490,5 +586,7 @@ main(int argc, char **argv)
         return runResume(opt);
     if (opt.command == "campaign")
         return runCampaign(opt);
+    if (opt.command == "perf")
+        return runPerf(opt);
     return runVerifyCache(opt);
 }
