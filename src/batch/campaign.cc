@@ -3,8 +3,10 @@
 #include <cstdlib>
 
 #include "exec/pool.hh"
+#include "obs/attrib.hh"
 #include "obs/profile.hh"
 #include "obs/stats.hh"
+#include "obs/timeline.hh"
 #include "workloads/workloads.hh"
 
 namespace msim::batch
@@ -67,6 +69,8 @@ BenchmarkReport
 Campaign::analyze(Item &item)
 {
     const double t0 = obs::wallSeconds();
+    obs::TimelineRecorder::Span span("campaign.analyze", 0,
+                                     item.alias);
     megsim::MegsimPipeline pipeline(*item.data, config_.megsim);
     const megsim::MegsimRun run = pipeline.run();
 
@@ -92,42 +96,55 @@ Campaign::run()
     exec::Pool &pool = exec::Pool::global();
     const double busy0 = counterValue("exec.pool.busy_seconds");
     const double job0 = counterValue("exec.pool.job_seconds");
+    // Window the caller thread's host-cost attribution over the whole
+    // campaign: uncovered time lands in obs.host.other, so the report
+    // can state what share of wall time the named domains explain.
+    obs::AttribRoot attribRoot;
 
     // 1. Load every scene up front — an unknown alias fails the whole
     // campaign before any simulation work starts.
     items_.clear();
-    for (const std::string &alias : config_.benches) {
-        auto built = workloads::tryBuildBenchmark(
-            alias, config_.scale, config_.frameLimit);
-        if (!built.ok())
-            return built.error();
-        auto item = std::make_unique<Item>();
-        item->alias = alias;
-        item->scene = std::move(*built);
-        item->data = std::make_unique<megsim::BenchmarkData>(
-            item->scene, gpusim::GpuConfig::evaluationScaled(),
-            config_.cacheDir);
-        items_.push_back(std::move(item));
+    {
+        obs::TimelineRecorder::Span loadSpan("campaign.load_scenes",
+                                             config_.benches.size());
+        obs::AttribScope loadScope(obs::HostDomain::Load);
+        for (const std::string &alias : config_.benches) {
+            auto built = workloads::tryBuildBenchmark(
+                alias, config_.scale, config_.frameLimit);
+            if (!built.ok())
+                return built.error();
+            auto item = std::make_unique<Item>();
+            item->alias = alias;
+            item->scene = std::move(*built);
+            item->data = std::make_unique<megsim::BenchmarkData>(
+                item->scene, gpusim::GpuConfig::evaluationScaled(),
+                config_.cacheDir);
+            items_.push_back(std::move(item));
+        }
     }
 
     // 2. Probe the caches: fresh benchmarks go straight to analysis,
     // the rest get a checkpoint-resuming ground-truth pass.
     std::vector<Item *> fresh;
     std::vector<Item *> regen;
-    for (auto &item : items_) {
-        switch (item->data->probeCaches()) {
-          case megsim::CacheProbe::Loaded:
-            item->cacheStatus = "fresh";
-            fresh.push_back(item.get());
-            break;
-          case megsim::CacheProbe::Invalid:
-            item->cacheStatus = "rebuilt";
-            regen.push_back(item.get());
-            break;
-          case megsim::CacheProbe::Missing:
-            item->cacheStatus = "built";
-            regen.push_back(item.get());
-            break;
+    {
+        obs::TimelineRecorder::Span probeSpan("campaign.probe",
+                                              items_.size());
+        for (auto &item : items_) {
+            switch (item->data->probeCaches()) {
+              case megsim::CacheProbe::Loaded:
+                item->cacheStatus = "fresh";
+                fresh.push_back(item.get());
+                break;
+              case megsim::CacheProbe::Invalid:
+                item->cacheStatus = "rebuilt";
+                regen.push_back(item.get());
+                break;
+              case megsim::CacheProbe::Missing:
+                item->cacheStatus = "built";
+                regen.push_back(item.get());
+                break;
+            }
         }
     }
 
@@ -166,6 +183,8 @@ Campaign::run()
 
     obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
                                      "campaign-batch");
+    obs::TimelineRecorder::Span jobSpan("campaign.batch",
+                                        totalUnits);
     auto job = pool.parallelMapOrdered<Unit>(
         totalUnits,
         [&](std::size_t unit,

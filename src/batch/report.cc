@@ -319,4 +319,75 @@ checkThresholds(const CampaignReport &report, const Thresholds &limits)
     return violations;
 }
 
+std::vector<std::string>
+diffReports(const CampaignReport &a, const CampaignReport &b)
+{
+    std::vector<std::string> diffs;
+    char line[200];
+    auto number = [&](const char *where, const char *what, double va,
+                      double vb) {
+        if (va == vb)
+            return;
+        std::snprintf(line, sizeof(line), "%s: %s %.17g != %.17g",
+                      where, what, va, vb);
+        diffs.emplace_back(line);
+    };
+
+    if (a.benchmarks.size() != b.benchmarks.size()) {
+        std::snprintf(line, sizeof(line),
+                      "suite: %zu benchmarks != %zu",
+                      a.benchmarks.size(), b.benchmarks.size());
+        diffs.emplace_back(line);
+    }
+    const std::size_t rows =
+        std::min(a.benchmarks.size(), b.benchmarks.size());
+    for (std::size_t i = 0; i < rows; ++i) {
+        const BenchmarkReport &ra = a.benchmarks[i];
+        const BenchmarkReport &rb = b.benchmarks[i];
+        if (ra.alias != rb.alias) {
+            std::snprintf(line, sizeof(line),
+                          "row %zu: alias '%s' != '%s'", i,
+                          ra.alias.c_str(), rb.alias.c_str());
+            diffs.emplace_back(line);
+            continue; // field diffs of misaligned rows are noise
+        }
+        const char *where = ra.alias.c_str();
+        number(where, "frames", static_cast<double>(ra.frames),
+               static_cast<double>(rb.frames));
+        number(where, "k", static_cast<double>(ra.chosenK),
+               static_cast<double>(rb.chosenK));
+        number(where, "representatives",
+               static_cast<double>(ra.representatives),
+               static_cast<double>(rb.representatives));
+        number(where, "reduction", ra.reduction, rb.reduction);
+        for (std::size_t m = 0; m < kNumMetrics; ++m) {
+            char what[48];
+            std::snprintf(what, sizeof(what), "error_percent.%s",
+                          kMetricKeys[m]);
+            number(where, what, ra.errorPercent[m],
+                   rb.errorPercent[m]);
+        }
+    }
+
+    number("suite", "total_frames", a.totalFrames, b.totalFrames);
+    number("suite", "total_representatives", a.totalRepresentatives,
+           b.totalRepresentatives);
+    number("suite", "mean_reduction", a.meanReduction,
+           b.meanReduction);
+    number("suite", "suite_reduction", a.suiteReduction,
+           b.suiteReduction);
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
+        char what[48];
+        std::snprintf(what, sizeof(what), "mean_error_percent.%s",
+                      kMetricKeys[m]);
+        number("suite", what, a.meanErrorPercent[m],
+               b.meanErrorPercent[m]);
+        std::snprintf(what, sizeof(what), "max_error_percent.%s",
+                      kMetricKeys[m]);
+        number("suite", what, a.maxErrorPercent[m],
+               b.maxErrorPercent[m]);
+    }
+    return diffs;
+}
+
 } // namespace msim::batch

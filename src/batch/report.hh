@@ -109,6 +109,19 @@ struct Thresholds
 std::vector<std::string> checkThresholds(const CampaignReport &report,
                                          const Thresholds &limits);
 
+/**
+ * Compare two reports modulo the documented host-side fields —
+ * wall_seconds (per-benchmark and suite), pool_utilization, threads,
+ * and the cache provenance pair (cache, resumed_frames), all of which
+ * legitimately differ between machines, thread counts and cache
+ * states. Everything else (per-benchmark frames, k, representatives,
+ * reduction, per-metric error; suite totals and error aggregates) must
+ * match EXACTLY — the campaign's determinism claim is bit-identity, so
+ * no epsilon. Returns ready-to-print difference lines; empty = equal.
+ */
+std::vector<std::string> diffReports(const CampaignReport &a,
+                                     const CampaignReport &b);
+
 } // namespace msim::batch
 
 #endif // MSIM_BATCH_REPORT_HH

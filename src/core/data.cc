@@ -7,8 +7,10 @@
 #include "exec/pool.hh"
 #include "gpusim/scene_binding.hh"
 #include "gpusim/timing_simulator.hh"
+#include "obs/attrib.hh"
 #include "obs/profile.hh"
 #include "obs/stats.hh"
+#include "obs/timeline.hh"
 #include "resilience/artifact.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/degrade.hh"
@@ -130,6 +132,9 @@ BenchmarkData::checkpointStem() const
 CacheProbe
 BenchmarkData::loadActivityCache()
 {
+    obs::AttribScope loadScope(obs::HostDomain::Load);
+    obs::TimelineRecorder::Span span("cache.load", 0,
+                                     scene_->name + ":activity");
     auto loaded = resilience::readCsvArtifact(cachePath("activity"),
                                               key_, "activity");
     if (!loaded.ok()) {
@@ -155,6 +160,9 @@ BenchmarkData::loadActivityCache()
 void
 BenchmarkData::storeActivityCache() const
 {
+    obs::AttribScope loadScope(obs::HostDomain::Load);
+    obs::TimelineRecorder::Span span("cache.store", 0,
+                                     scene_->name + ":activity");
     util::CsvTable table;
     table.header = activityHeader(*scene_);
     for (const gpusim::FrameActivity &act : activities_)
@@ -166,6 +174,9 @@ BenchmarkData::storeActivityCache() const
 CacheProbe
 BenchmarkData::loadStatsCache()
 {
+    obs::AttribScope loadScope(obs::HostDomain::Load);
+    obs::TimelineRecorder::Span span("cache.load", 0,
+                                     scene_->name + ":stats");
     auto loaded =
         resilience::readCsvArtifact(cachePath("stats"), key_, "stats");
     if (!loaded.ok()) {
@@ -209,6 +220,9 @@ BenchmarkData::probeCaches()
 void
 BenchmarkData::storeStatsCache() const
 {
+    obs::AttribScope loadScope(obs::HostDomain::Load);
+    obs::TimelineRecorder::Span span("cache.store", 0,
+                                     scene_->name + ":stats");
     util::CsvTable table;
     table.header = gpusim::FrameStats::csvHeader();
     for (const gpusim::FrameStats &s : stats_)
@@ -245,6 +259,7 @@ BenchmarkData::activities()
         total,
         [&](std::size_t f, std::size_t w)
             -> resilience::Expected<gpusim::FrameActivity> {
+            obs::TimelineRecorder::Span span("func.frame", f);
             if (!sims[w])
                 sims[w] =
                     std::make_unique<gpusim::FunctionalSimulator>(
@@ -345,6 +360,8 @@ resilience::Expected<GroundTruthFrame>
 GroundTruthPass::produce(std::size_t i, std::size_t w)
 {
     const std::size_t f = start_ + i;
+    obs::TimelineRecorder::Span span("gt.frame", f,
+                                     data_->scene_->name);
     if (resilience::FaultInjector::global().hangFrame(f))
         return resilience::errorf(resilience::Errc::FrameTimeout,
                                   "frame %zu hung (injected)", f);
@@ -377,9 +394,12 @@ GroundTruthPass::commit(std::size_t i, GroundTruthFrame &&frame)
 {
     stats_.push_back(std::move(frame.stats));
     acts_.push_back(std::move(frame.activity));
-    if (ckpt_)
+    if (ckpt_) {
+        obs::AttribScope loadScope(obs::HostDomain::Load);
+        obs::TimelineRecorder::Span span("ckpt.commit", start_ + i);
         ckpt_->append(stats_.back().toCsvRow(),
                       activityToRow(acts_.back()));
+    }
     resilience::FaultInjector::global().maybeKillAfterFrame(start_ +
                                                             i);
     heartbeat_->tick(stats_.size());

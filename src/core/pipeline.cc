@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/attrib.hh"
 #include "obs/profile.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -52,6 +53,7 @@ MegsimPipeline::run(std::uint64_t seed)
 {
     obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
                                      "clustering");
+    obs::AttribScope analyzeScope(obs::HostDomain::Analyze);
     projectedFeatures();
 
     SelectorConfig selector = config_.selector;

@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include "obs/attrib.hh"
 #include "sim/logging.hh"
 
 namespace msim::exec
@@ -55,7 +56,8 @@ Pool::Pool(std::size_t workers) : workers_(workers ? workers : 1)
 {
     shards_.reserve(workers_);
     for (std::size_t w = 0; w < workers_; ++w)
-        shards_.push_back(std::make_unique<WorkerObs>());
+        shards_.push_back(
+            std::make_unique<WorkerObs>(static_cast<std::uint32_t>(w)));
     threads_.reserve(workers_ - 1);
     for (std::size_t w = 1; w < workers_; ++w)
         threads_.emplace_back([this, w] { workerLoop(w); });
@@ -124,7 +126,14 @@ Pool::runShare(std::size_t worker,
         shards_[worker]->registry);
     obs::PhaseProfilerOverride phaseShard(
         shards_[worker]->profiler);
+    obs::TimelineOverride timelineShard(shards_[worker]->timeline);
+    // Declared after the registry override so its destructor flushes
+    // this thread's attribution buckets into the worker shard (merged
+    // in worker-index order like every other stat). A no-op when the
+    // caller thread already opened a root, or attribution is off.
+    obs::AttribRoot attribRoot;
     tlsInsideJob = true;
+    const bool timeline = obs::timelineEnabled();
     const double shareT0 = obs::wallSeconds();
 
     auto execute = [&](std::size_t item) {
@@ -146,6 +155,7 @@ Pool::runShare(std::size_t worker,
         const std::size_t end = (worker + 1) * n_ / workers_;
         if (begin < end)
             jobChunks_.fetch_add(1, std::memory_order_relaxed);
+        const double chunkT0 = timeline ? obs::wallSeconds() : 0.0;
         for (std::size_t item = begin; item < end; ++item) {
             execute(item);
             if (progress)
@@ -153,6 +163,10 @@ Pool::runShare(std::size_t worker,
             else if (worker != 0)
                 doneCv_.notify_all();
         }
+        if (timeline && begin < end)
+            shards_[worker]->timeline.record(
+                "pool.chunk", chunkT0, obs::wallSeconds(),
+                end - begin);
     } else {
         for (;;) {
             const std::size_t begin =
@@ -162,8 +176,14 @@ Pool::runShare(std::size_t worker,
             const std::size_t end =
                 begin + chunk_ < n_ ? begin + chunk_ : n_;
             jobChunks_.fetch_add(1, std::memory_order_relaxed);
+            const double chunkT0 =
+                timeline ? obs::wallSeconds() : 0.0;
             for (std::size_t item = begin; item < end; ++item)
                 execute(item);
+            if (timeline)
+                shards_[worker]->timeline.record(
+                    "pool.chunk", chunkT0, obs::wallSeconds(),
+                    end - begin);
             if (progress)
                 (*progress)();
             else if (worker != 0)
@@ -251,6 +271,7 @@ Pool::run(std::size_t n, Chunking chunking, std::size_t chunkSize,
     // Wait for the other workers, draining ready commits every time
     // one of them signals progress.
     double waited = 0.0;
+    const double waitT0 = obs::wallSeconds();
     {
         std::unique_lock<std::mutex> lock(mutex_);
         while (activeWorkers_ > 0) {
@@ -265,6 +286,9 @@ Pool::run(std::size_t n, Chunking chunking, std::size_t chunkSize,
         }
         fn_ = nullptr;
     }
+    if (waited > 0.0)
+        obs::TimelineRecorder::global().record(
+            "pool.wait", waitT0, obs::wallSeconds());
 
     mergeShards();
     ++poolCounter("jobs", "parallel jobs executed");
@@ -304,6 +328,8 @@ Pool::mergeShards()
     for (std::size_t w = 0; w < workers_; ++w) {
         obs::processRegistry().mergeFrom(shards_[w]->registry);
         obs::PhaseProfiler::global().mergeFrom(shards_[w]->profiler);
+        obs::TimelineRecorder::global().mergeFrom(
+            shards_[w]->timeline);
         shards_[w]->registry.resetPerFrame();
         shards_[w]->profiler.clear();
     }

@@ -52,6 +52,7 @@
 
 #include "obs/profile.hh"
 #include "obs/stats.hh"
+#include "obs/timeline.hh"
 #include "resilience/expected.hh"
 
 namespace msim::exec
@@ -163,8 +164,10 @@ class Pool
     /** Per-worker single-writer observability shards. */
     struct WorkerObs
     {
+        explicit WorkerObs(std::uint32_t track) : timeline(track) {}
         obs::StatsRegistry registry;
         obs::PhaseProfiler profiler;
+        obs::TimelineRecorder timeline; // track = worker index
     };
 
     static constexpr std::size_t kNoError =

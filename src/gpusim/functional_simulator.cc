@@ -1,6 +1,7 @@
 #include "gpusim/functional_simulator.hh"
 
 #include "gpusim/rasterizer.hh"
+#include "obs/attrib.hh"
 
 namespace msim::gpusim
 {
@@ -28,13 +29,18 @@ FunctionalSimulator::FunctionalSimulator(const GpuConfig &config,
 FrameActivity
 FunctionalSimulator::simulate(const gfx::FrameTrace &frame)
 {
-    geometry_.processInto(frame, ir_);
+    {
+        obs::AttribScope geomScope(obs::HostDomain::Geometry);
+        geometry_.processInto(frame, ir_);
+    }
     return simulate(ir_);
 }
 
 FrameActivity
 FunctionalSimulator::simulate(const GeometryIR &ir)
 {
+    // The functional walk is coverage rasterization + depth test.
+    obs::AttribScope rasterScope(obs::HostDomain::Raster);
     FrameActivity act;
     act.frameIndex = ir.frameIndex;
     act.vsCounts.assign(numVs_, 0);

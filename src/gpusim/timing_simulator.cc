@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <optional>
 #include <utility>
 
 #include "gpusim/power.hh"
@@ -187,7 +188,10 @@ FrameStats
 TimingSimulator::simulate(const gfx::FrameTrace &frame,
                           FrameActivity *activity)
 {
-    geometry_.processInto(frame, ir_);
+    {
+        obs::AttribScope geomScope(obs::HostDomain::Geometry);
+        geometry_.processInto(frame, ir_);
+    }
     return simulate(ir_, activity);
 }
 
@@ -255,6 +259,8 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
 
     StageSpan fetchSpan, vsSpan, paSpan, binSpan;
 
+    std::optional<obs::AttribScope> geomScope;
+    geomScope.emplace(obs::HostDomain::Geometry);
     for (std::uint32_t di = 0; di < ir.draws.size(); ++di) {
         const DrawIR &draw = ir.draws[di];
         const gfx::ShaderProgram &vs = scene.shaders[draw.vsId];
@@ -348,6 +354,7 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
         }
         geomDone = std::max(geomDone, lastPaDone);
     }
+    geomScope.reset();
 
     auto emitStage = [&](const char *name, const StageSpan &span) {
         if (span.used())
@@ -367,6 +374,8 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
     const int tileH = static_cast<int>(config_.tileHeight);
     std::size_t fpRR = 0, texRR = 0;
 
+    std::optional<obs::AttribScope> rasterScope;
+    rasterScope.emplace(obs::HostDomain::Raster);
     for (std::size_t tile = 0; tile < numTiles; ++tile) {
         if (bins_[tile].empty())
             continue;
@@ -444,6 +453,7 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
         // texture samples -> blend. Returns the blend-complete time.
         auto shadeQuad = [&](const DrawHot &hot, sim::Tick ready,
                              const QuadFragment &quad, int pixels) {
+            obs::AttribScope shadeScope(obs::HostDomain::Shade);
             const std::uint64_t fsInstr = hot.fsInstr;
 
             const sim::Tick fqIssue = fragmentQueue_.reserve(ready);
@@ -667,6 +677,7 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
         tileCycles_->sample(static_cast<double>(tileDone - tileStart));
         clock = tileDone;
     }
+    rasterScope.reset();
 
     trace_.emit("raster", obs::TraceCategory::Phase, frameIndex_,
                 geomDone, clock);

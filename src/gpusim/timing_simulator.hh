@@ -34,6 +34,7 @@
 #include "gpusim/scene_binding.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "obs/attrib.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -190,6 +191,9 @@ class TimingSimulator
     memAccess(mem::Cache *l1, sim::Tick now, sim::Addr addr,
               bool write, std::uint64_t *dramLines)
     {
+        // Host-cost attribution of the whole walk (one predictable
+        // branch when MEGSIM_ATTRIB is off).
+        obs::AttribScope memScope(obs::HostDomain::MemWalk);
         sim::Tick t = now;
         if (l1) {
             const mem::CacheAccess a = l1->accessDeferred(addr, write);

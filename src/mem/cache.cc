@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "obs/attrib.hh"
 #include "sim/logging.hh"
 
 namespace msim::mem
@@ -116,6 +117,11 @@ Cache::accessMiss(Line *ways, std::size_t set, std::uint64_t line,
 CacheAccess
 Cache::access(sim::Addr addr, bool write)
 {
+    // Standalone entry point (IMR model, tests): attribute the walk
+    // here, since these callers never pass through the simulator's
+    // memAccess scope. accessDeferred stays scope-free — in the hot
+    // loop the enclosing chain already carries the MemWalk scope.
+    obs::AttribScope memScope(obs::HostDomain::MemWalk);
     const CacheAccess result = accessDeferred(addr, write);
     flushStats();
     return result;
@@ -124,6 +130,7 @@ Cache::access(sim::Addr addr, bool write)
 Cache::RangeResult
 Cache::accessRange(sim::Addr addr, std::uint64_t bytes, bool write)
 {
+    obs::AttribScope memScope(obs::HostDomain::MemWalk);
     RangeResult r;
     if (bytes == 0)
         return r;

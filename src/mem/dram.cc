@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/attrib.hh"
+
 namespace msim::mem
 {
 
@@ -61,6 +63,9 @@ Dram::bindStats(obs::StatsGroup stats)
 sim::Tick
 Dram::access(sim::Tick now, sim::Addr addr, bool write)
 {
+    // Standalone entry point; hot-loop traffic is attributed by the
+    // simulator's memAccess scope (see mem/cache.cc).
+    obs::AttribScope memScope(obs::HostDomain::MemWalk);
     const sim::Tick done = accessDeferred(now, addr, write);
     flushStats();
     return done;

@@ -15,7 +15,7 @@ wallSeconds()
 }
 
 void
-PhaseProfiler::add(const std::string &name, double seconds)
+PhaseProfiler::add(std::string_view name, double seconds)
 {
     for (Phase &p : phases_) {
         if (p.name == name) {
@@ -24,7 +24,7 @@ PhaseProfiler::add(const std::string &name, double seconds)
             return;
         }
     }
-    phases_.push_back(Phase{name, seconds, 1});
+    phases_.push_back(Phase{std::string(name), seconds, 1});
 }
 
 double

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace msim::obs
@@ -33,11 +34,15 @@ class PhaseProfiler
         std::uint64_t entries = 0;
     };
 
-    /** RAII scope adding its lifetime to a named phase. */
+    /**
+     * RAII scope adding its lifetime to a named phase. Holds the name
+     * as a view — no allocation on entry — so the referenced string
+     * must outlive the scope (phase names are string literals).
+     */
     class Scoped
     {
       public:
-        Scoped(PhaseProfiler &profiler, const std::string &name)
+        Scoped(PhaseProfiler &profiler, std::string_view name)
             : profiler_(&profiler), name_(name), t0_(wallSeconds())
         {}
         Scoped(const Scoped &) = delete;
@@ -46,11 +51,11 @@ class PhaseProfiler
 
       private:
         PhaseProfiler *profiler_;
-        std::string name_;
+        std::string_view name_;
         double t0_;
     };
 
-    void add(const std::string &name, double seconds);
+    void add(std::string_view name, double seconds);
 
     const std::vector<Phase> &phases() const { return phases_; }
     double totalSeconds() const;

@@ -1,0 +1,175 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace msim::obs
+{
+
+namespace
+{
+
+bool gTimelineEnabled = false;
+std::string gTimelinePath;
+
+bool
+initTimelineFromEnv()
+{
+    const char *env = std::getenv("MEGSIM_TIMELINE");
+    if (env && *env) {
+        gTimelinePath =
+            std::string(env) == "1" ? "timeline.json" : env;
+        gTimelineEnabled = true;
+    }
+    return true;
+}
+
+// Runs once before main() can spawn threads; setTimelineEnabled is
+// the programmatic override for tests and the CLI.
+[[maybe_unused]] const bool gTimelineInit = initTimelineFromEnv();
+
+thread_local TimelineRecorder *tlsTimelineOverride = nullptr;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatUs(double us)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+} // namespace
+
+bool
+timelineEnabled()
+{
+    return gTimelineEnabled;
+}
+
+void
+setTimelineEnabled(bool on)
+{
+    gTimelineEnabled = on;
+}
+
+const std::string &
+timelinePath()
+{
+    return gTimelinePath;
+}
+
+void
+TimelineRecorder::mergeFrom(TimelineRecorder &other)
+{
+    if (other.spans_.empty())
+        return;
+    spans_.insert(spans_.end(),
+                  std::make_move_iterator(other.spans_.begin()),
+                  std::make_move_iterator(other.spans_.end()));
+    other.spans_.clear();
+}
+
+TimelineRecorder &
+TimelineRecorder::global()
+{
+    if (tlsTimelineOverride)
+        return *tlsTimelineOverride;
+    static TimelineRecorder recorder(0);
+    return recorder;
+}
+
+TimelineOverride::TimelineOverride(TimelineRecorder &shard)
+    : previous_(tlsTimelineOverride)
+{
+    tlsTimelineOverride = &shard;
+}
+
+TimelineOverride::~TimelineOverride()
+{
+    tlsTimelineOverride = previous_;
+}
+
+void
+writeTimelineChrome(std::ostream &os,
+                    const std::vector<HostSpan> &spans,
+                    std::size_t workers)
+{
+    double origin = 0.0;
+    bool haveOrigin = false;
+    std::size_t tracks = workers;
+    for (const HostSpan &s : spans) {
+        if (!haveOrigin || s.begin < origin) {
+            origin = s.begin;
+            haveOrigin = true;
+        }
+        tracks = std::max<std::size_t>(tracks, s.track + 1);
+    }
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t t = 0; t < tracks; ++t) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+           << "\"tid\":" << t << ",\"args\":{\"name\":\"worker " << t
+           << (t == 0 ? " (caller)" : "") << "\"}}";
+    }
+    for (const HostSpan &s : spans) {
+        const double ts = (s.begin - origin) * 1e6;
+        const double dur = (s.end - s.begin) * 1e6;
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(s.name)
+           << "\",\"cat\":\"host\",\"ph\":\"X\",\"ts\":"
+           << formatUs(ts) << ",\"dur\":" << formatUs(dur)
+           << ",\"pid\":0,\"tid\":" << s.track
+           << ",\"args\":{\"arg\":" << s.arg;
+        if (!s.detail.empty())
+            os << ",\"detail\":\"" << jsonEscape(s.detail) << "\"";
+        os << "}}";
+    }
+    os << "]}\n";
+}
+
+void
+writeTimelineChrome(const std::string &path,
+                    const TimelineRecorder &recorder,
+                    std::size_t workers)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("cannot write timeline file '%s'", path.c_str());
+    writeTimelineChrome(out, recorder.spans(), workers);
+}
+
+} // namespace msim::obs

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Host-side run timelines: wall-clock interval spans on per-worker
+ * tracks.
+ *
+ * Where the TraceBuffer records *simulated* time (cycles inside one
+ * frame), the TimelineRecorder records *host* time: what every
+ * exec::Pool worker, the campaign driver and the cache/checkpoint
+ * machinery were doing, and when. Spans carry a track id (the worker
+ * index; the caller thread is track 0) so the Chrome `trace_event`
+ * export opens in Perfetto with one lane per worker — an 8-thread
+ * campaign visually shows its pool utilization instead of asserting
+ * it through a counter.
+ *
+ * Ownership follows the StatsRegistry rule: a TimelineRecorder is
+ * single-writer. exec::Pool gives each worker a shard (with the
+ * worker's track id) via the thread-local TimelineOverride and merges
+ * the shards back in worker-index order when the job completes; the
+ * process-wide recorder is only ever written by the caller thread.
+ *
+ * Recording is off by default and costs one predictable branch when
+ * disabled; MEGSIM_TIMELINE=<path> enables it for a run (the CLI
+ * writes the Chrome JSON to <path> on exit). Defining
+ * MSIM_OBS_NO_TRACE at build time compiles emission out entirely,
+ * exactly like the cycle-trace layer.
+ */
+
+#ifndef MSIM_OBS_TIMELINE_HH
+#define MSIM_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msim::obs
+{
+
+double wallSeconds(); // obs/profile.hh
+
+/** One host-time interval on a worker track. */
+struct HostSpan
+{
+    const char *name;    // static string; never owned
+    std::string detail;  // optional label (benchmark alias, path)
+    std::uint32_t track; // worker index; 0 = caller thread
+    double begin;        // wallSeconds()
+    double end;
+    std::uint64_t arg;   // payload: item index / frame / bytes
+};
+
+/** True when MEGSIM_TIMELINE (or setTimelineEnabled) turned host
+ *  timelines on for this process. Read on every record(); written
+ *  only during single-threaded setup. */
+bool timelineEnabled();
+void setTimelineEnabled(bool on);
+
+/** The MEGSIM_TIMELINE value ("" = disabled; "1" maps to
+ *  "timeline.json") — where the CLI writes the Chrome export. */
+const std::string &timelinePath();
+
+class TimelineRecorder
+{
+  public:
+    explicit TimelineRecorder(std::uint32_t track = 0)
+        : track_(track)
+    {}
+    TimelineRecorder(const TimelineRecorder &) = delete;
+    TimelineRecorder &operator=(const TimelineRecorder &) = delete;
+
+    std::uint32_t track() const { return track_; }
+
+    /** Record a completed span on this recorder's track. */
+    void
+    record(const char *name, double begin, double end,
+           std::uint64_t arg = 0, std::string detail = {})
+    {
+#ifdef MSIM_OBS_NO_TRACE
+        (void)name; (void)begin; (void)end; (void)arg; (void)detail;
+#else
+        if (!timelineEnabled()) [[likely]]
+            return;
+        spans_.push_back(
+            HostSpan{name, std::move(detail), track_, begin, end, arg});
+#endif
+    }
+
+    /** RAII span: times its own lifetime on the recorder active at
+     *  *construction* (so a span opened inside a pool job lands on
+     *  that worker's shard even if it closes after a merge). */
+    class Span
+    {
+      public:
+#ifdef MSIM_OBS_NO_TRACE
+        Span(const char *, std::uint64_t = 0, std::string = {}) {}
+#else
+        Span(const char *name, std::uint64_t arg = 0,
+             std::string detail = {})
+            : recorder_(&TimelineRecorder::global()), name_(name),
+              detail_(std::move(detail)), arg_(arg),
+              t0_(timelineEnabled() ? wallSeconds() : 0.0)
+        {}
+        ~Span()
+        {
+            if (timelineEnabled())
+                recorder_->record(name_, t0_, wallSeconds(), arg_,
+                                  std::move(detail_));
+        }
+#endif
+        Span(const Span &) = delete;
+        Span &operator=(const Span &) = delete;
+
+      private:
+#ifndef MSIM_OBS_NO_TRACE
+        TimelineRecorder *recorder_;
+        const char *name_;
+        std::string detail_;
+        std::uint64_t arg_;
+        double t0_;
+#endif
+    };
+
+    const std::vector<HostSpan> &spans() const { return spans_; }
+    std::size_t size() const { return spans_.size(); }
+    void clear() { spans_.clear(); }
+
+    /** Move @p other's spans onto this recorder (worker shards folding
+     *  into the process recorder in worker-index order). Tracks are
+     *  preserved — that is the whole point. */
+    void mergeFrom(TimelineRecorder &other);
+
+    /**
+     * Process-wide recorder (track 0). Honors the calling thread's
+     * TimelineOverride, so spans recorded inside an exec::Pool job
+     * land on the worker's shard and keep its track id.
+     */
+    static TimelineRecorder &global();
+
+  private:
+    std::vector<HostSpan> spans_;
+    std::uint32_t track_;
+};
+
+/** RAII thread-local redirect of TimelineRecorder::global(). */
+class TimelineOverride
+{
+  public:
+    explicit TimelineOverride(TimelineRecorder &shard);
+    ~TimelineOverride();
+    TimelineOverride(const TimelineOverride &) = delete;
+    TimelineOverride &operator=(const TimelineOverride &) = delete;
+
+  private:
+    TimelineRecorder *previous_;
+};
+
+/**
+ * Export spans as Chrome trace_event JSON (chrome://tracing /
+ * Perfetto): one tid lane per track, labelled "worker N" ("worker 0
+ * (caller)" for track 0), timestamps in microseconds relative to the
+ * earliest span. @p workers labels that many tracks even if some
+ * recorded nothing, so an idle worker shows as an empty lane.
+ */
+void writeTimelineChrome(std::ostream &os,
+                         const std::vector<HostSpan> &spans,
+                         std::size_t workers);
+
+/** Convenience: export to @p path; fatal on I/O error. */
+void writeTimelineChrome(const std::string &path,
+                         const TimelineRecorder &recorder,
+                         std::size_t workers);
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_TIMELINE_HH

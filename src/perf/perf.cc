@@ -6,7 +6,9 @@
 #include "gpusim/gpu_config.hh"
 #include "gpusim/scene_binding.hh"
 #include "gpusim/timing_simulator.hh"
+#include "obs/attrib.hh"
 #include "obs/profile.hh"
+#include "obs/timeline.hh"
 #include "resilience/artifact.hh"
 #include "workloads/workloads.hh"
 
@@ -206,11 +208,18 @@ runHotpath(const PerfOptions &options)
         options.baseline ? gpusim::GpuConfig::baseline()
                          : gpusim::GpuConfig::evaluationScaled();
 
+    // Attribution window over the whole harness: the simulator's own
+    // scopes (geometry/raster/shade/memwalk) claim the hot loop, the
+    // explicit scopes below claim the load phase, and whatever is
+    // left lands in obs.host.other.
+    obs::AttribRoot attribRoot;
+
     obs::PhaseProfiler profiler;
     for (const std::string &alias : benches) {
         gfx::SceneTrace scene;
         {
             obs::PhaseProfiler::Scoped load(profiler, "load");
+            obs::AttribScope loadScope(obs::HostDomain::Load);
             auto built = workloads::tryBuildBenchmark(
                 alias, options.scale, frames);
             if (!built.ok())
@@ -225,10 +234,14 @@ runHotpath(const PerfOptions &options)
 
         BenchPerf b;
         b.alias = alias;
+        obs::TimelineRecorder::Span benchSpan("perf.bench",
+                                              scene.numFrames(),
+                                              alias);
         const double t0 = obs::wallSeconds();
         for (const gfx::FrameTrace &frame : scene.frames) {
             {
                 obs::PhaseProfiler::Scoped geom(profiler, "geometry");
+                obs::AttribScope geomScope(obs::HostDomain::Geometry);
                 geometry.processInto(frame, ir);
             }
             obs::PhaseProfiler::Scoped timing(profiler, "timing");

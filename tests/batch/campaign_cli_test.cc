@@ -2,9 +2,10 @@
  * @file
  * End-to-end test for `megsim-cli campaign`. The harness passes the
  * built binary's path as argv[1] (see tests/CMakeLists.txt). Covers
- * the report artifact, the --check gate and the CLI's distinct exit
- * codes: 0 ok, 3 load failure, 4 cache verification failure, 5
- * threshold breach.
+ * the report artifact, the --check gate, the run ledger, report
+ * diffing, and the CLI's distinct exit codes: 0 ok, 3 load failure,
+ * 4 cache verification failure, 5 threshold breach, 6 report diff
+ * mismatch, 7 invalid ledger.
  */
 
 #include <gtest/gtest.h>
@@ -173,6 +174,109 @@ TEST(CampaignCli, CorruptCacheFailsVerifyWithExitFour)
                           log);
     EXPECT_EQ(rc, 4) << slurp(log);
     EXPECT_NE(slurp(log).find("CORRUPT"), std::string::npos);
+}
+
+TEST(CampaignCli, WritesValidRunLedgerNextToReport)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path json = dir / "ledgered.json";
+    const std::filesystem::path ledger = dir / "ledgered.run.jsonl";
+    const std::filesystem::path log = dir / "ledger.log";
+
+    ASSERT_EQ(runCli("campaign --benches hcr --out " + json.string(),
+                     log),
+              0)
+        << slurp(log);
+    ASSERT_TRUE(std::filesystem::exists(ledger))
+        << "default ledger path derives from --out";
+    const std::string text = slurp(ledger);
+    EXPECT_NE(text.find("\"schema\":\"megsim-run-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"event\":\"run_start\""), std::string::npos);
+    EXPECT_NE(text.find("\"event\":\"run_end\""), std::string::npos);
+
+    // The strict validator accepts what the campaign just wrote.
+    EXPECT_EQ(runCli("ledger --validate " + ledger.string(), log), 0)
+        << slurp(log);
+    EXPECT_NE(slurp(log).find("ledger ok"), std::string::npos);
+}
+
+TEST(CampaignCli, CorruptLedgerFailsValidationWithExitSeven)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path ledger = dir / "corrupt.run.jsonl";
+    const std::filesystem::path log = dir / "corrupt.log";
+
+    ASSERT_EQ(runCli("campaign --benches hcr --out " +
+                         (dir / "corrupt.json").string() +
+                         " --ledger " + ledger.string(),
+                     log),
+              0)
+        << slurp(log);
+    // Smuggle an undeclared field into an otherwise valid stream.
+    std::ofstream(ledger, std::ios::app)
+        << "{\"schema\":\"megsim-run-v1\",\"seq\":99,"
+           "\"event\":\"cache\",\"t\":0.0,\"bench\":\"hcr\","
+           "\"status\":\"hot\",\"resumed_frames\":0,"
+           "\"drive_by\":1}\n";
+
+    EXPECT_EQ(runCli("ledger --validate " + ledger.string(), log), 7)
+        << slurp(log);
+    EXPECT_NE(slurp(log).find("drive_by"), std::string::npos);
+}
+
+TEST(CampaignCli, DiffToleratesThreadCountAndHostClock)
+{
+    // The acceptance criterion for the telemetry PR: simulated output
+    // is bit-identical across MEGSIM_THREADS, so reports from runs at
+    // different thread counts diff clean modulo the documented
+    // host-side fields (wall seconds, pool utilization, threads,
+    // cache status).
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path a = dir / "t1.json";
+    const std::filesystem::path b = dir / "t4.json";
+    const std::filesystem::path log = dir / "diff.log";
+
+    ASSERT_EQ(runCli("campaign --benches hcr,jjo --threads 1 --out " +
+                         a.string(),
+                     log),
+              0)
+        << slurp(log);
+    ASSERT_EQ(runCli("campaign --benches hcr,jjo --threads 4 --out " +
+                         b.string(),
+                     log),
+              0)
+        << slurp(log);
+
+    const int rc = runCli(
+        "campaign --diff " + a.string() + " " + b.string(), log);
+    EXPECT_EQ(rc, 0) << slurp(log);
+    EXPECT_NE(slurp(log).find("reports match"), std::string::npos);
+}
+
+TEST(CampaignCli, DiffOfDifferentReportsExitsSix)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path a = dir / "set_a.json";
+    const std::filesystem::path b = dir / "set_b.json";
+    const std::filesystem::path log = dir / "diff6.log";
+
+    ASSERT_EQ(runCli("campaign --benches hcr --out " + a.string(),
+                     log),
+              0)
+        << slurp(log);
+    ASSERT_EQ(runCli("campaign --benches hcr,jjo --out " + b.string(),
+                     log),
+              0)
+        << slurp(log);
+
+    const int rc = runCli(
+        "campaign --diff " + a.string() + " " + b.string(), log);
+    EXPECT_EQ(rc, 6) << slurp(log);
 }
 
 int

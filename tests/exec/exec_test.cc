@@ -381,6 +381,68 @@ TEST_F(ExecTest, SigkillResumeRoundTripAtFourThreads)
             << "frame " << f;
 }
 
+TEST_F(ExecTest, ShardMergeIsExactUnderDynamicChunking)
+{
+    // Dynamic chunking assigns items to workers nondeterministically,
+    // so the per-worker shard *contents* differ run to run — but the
+    // worker-index-order merge must still reproduce the exact serial
+    // totals for every stat kind, at any thread count. Integer-valued
+    // samples keep double addition associative, which is what makes
+    // this bit-exact rather than merely close.
+    const std::size_t n = 1000;
+    auto run = [&](std::size_t threads, const std::string &tag) {
+        Pool pool(threads);
+        obs::StatsRegistry &reg = obs::processRegistry();
+        const std::string scalar = "test.exec.dyn." + tag + ".count";
+        const std::string avg = "test.exec.dyn." + tag + ".avg";
+        const std::string dist = "test.exec.dyn." + tag + ".dist";
+        auto err = pool.parallelFor(
+            n,
+            [&](std::size_t i,
+                std::size_t) -> resilience::Expected<void> {
+                obs::StatsRegistry &shard = obs::processRegistry();
+                ++shard.scalar(scalar, "");
+                shard.average(avg, "").sample(
+                    static_cast<double>(i % 7));
+                shard.distribution(dist, 0.0, 10.0, 10, "")
+                    .sample(static_cast<double>(i % 13));
+                return {};
+            },
+            Chunking::Dynamic, 1); // chunk=1: maximum interleave
+        EXPECT_TRUE(err.ok());
+        // Return the merged view for comparison.
+        struct Merged
+        {
+            double count, mean;
+            std::uint64_t samples;
+            std::vector<std::uint64_t> buckets;
+            std::uint64_t overflow;
+        } m;
+        m.count = reg.scalar(scalar, "").value();
+        m.mean = reg.average(avg, "").value();
+        m.samples = reg.average(avg, "").count();
+        const obs::Distribution &d =
+            reg.distribution(dist, 0.0, 10.0, 10, "");
+        for (std::size_t b = 0; b < d.numBuckets(); ++b)
+            m.buckets.push_back(d.bucket(b));
+        m.overflow = d.overflow();
+        return m;
+    };
+
+    const auto serial = run(1, "t1");
+    EXPECT_DOUBLE_EQ(serial.count, static_cast<double>(n));
+    EXPECT_EQ(serial.samples, n);
+    for (std::size_t threads : {std::size_t(2), std::size_t(8)}) {
+        const auto parallel =
+            run(threads, "t" + std::to_string(threads));
+        EXPECT_EQ(parallel.count, serial.count) << threads;
+        EXPECT_EQ(parallel.mean, serial.mean) << threads;
+        EXPECT_EQ(parallel.samples, serial.samples) << threads;
+        EXPECT_EQ(parallel.buckets, serial.buckets) << threads;
+        EXPECT_EQ(parallel.overflow, serial.overflow) << threads;
+    }
+}
+
 TEST_F(ExecTest, PoolCountersAreRegistered)
 {
     Pool::setConfiguredThreads(3);

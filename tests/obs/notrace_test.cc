@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Compiled with -DMSIM_OBS_NO_TRACE (see tests/CMakeLists.txt): every
+ * header-inline telemetry emit path — cycle-trace events AND host
+ * timeline spans — must compile out entirely. The assertions run with
+ * the runtime enable flags ON, so anything that survived the macro
+ * would be caught recording.
+ *
+ * Only the header-inline emit/record/Span paths vary with the macro;
+ * msim_core itself is built without it, so linking against the normal
+ * library is exactly the configuration the guard has to hold in.
+ */
+
+#ifndef MSIM_OBS_NO_TRACE
+#error "this TU must be compiled with -DMSIM_OBS_NO_TRACE"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "obs/timeline.hh"
+#include "obs/trace.hh"
+
+using namespace msim::obs;
+
+TEST(NoTrace, TraceEmitCompilesOut)
+{
+    ObsConfig config;
+    config.traceEnabled = true;
+    TraceBuffer buf(config);
+    buf.setEnabled(true);
+    buf.emit("stage", TraceCategory::Stage, 0, 10, 20, 1);
+    buf.instant("mark", TraceCategory::Stage, 0, 15);
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_EQ(buf.emittedCount(), 0u);
+}
+
+TEST(NoTrace, TimelineRecordCompilesOut)
+{
+    const bool was = timelineEnabled();
+    setTimelineEnabled(true);
+    TimelineRecorder recorder(1);
+    recorder.record("chunk", 0.0, 1.0, 64, "detail");
+    EXPECT_EQ(recorder.size(), 0u);
+    setTimelineEnabled(was);
+}
+
+TEST(NoTrace, TimelineSpanCompilesOut)
+{
+    const bool was = timelineEnabled();
+    setTimelineEnabled(true);
+    TimelineRecorder shard(2);
+    {
+        TimelineOverride redirect(shard);
+        TimelineRecorder::Span span("job", 3, "alias");
+        TimelineRecorder::Span bare("bare");
+    }
+    EXPECT_EQ(shard.size(), 0u);
+    EXPECT_EQ(TimelineRecorder::global().size(), 0u);
+    setTimelineEnabled(was);
+}

@@ -25,33 +25,54 @@
  *
  *   megsim-cli campaign [--benches A,B,C] [--out campaign.json]
  *                       [--check thresholds.json] [--cache-dir DIR]
+ *                       [--ledger PATH]
  *       Run the full MEGsim pipeline for the whole benchmark suite
  *       through one shared worker pool and write the machine-readable
  *       accuracy report CI gates on. --check compares the report
- *       against a thresholds file and fails on any regression.
+ *       against a thresholds file and fails on any regression. Every
+ *       successful campaign also writes a megsim-run-v1 JSONL run
+ *       ledger next to the report (<report>.run.jsonl, or --ledger).
+ *
+ *   megsim-cli campaign --diff A.json B.json
+ *       Compare two campaign reports modulo the documented host-side
+ *       fields (wall clocks, pool utilization, thread count, cache
+ *       provenance). Prints every difference; exits 6 on mismatch.
  *
  *   megsim-cli perf [--frames N] [--out BENCH_gpusim.json]
  *                   [--benches A,B,C] [--compare BASELINE.json]
  *                   [--band PCT]
  *       Run the hot-path microbench (pure timing-simulator
  *       throughput, no cache/pool) and emit the versioned
- *       BENCH_gpusim.json perf report. --compare prints warn-only
- *       deviations beyond the +-PCT band (default 25) against a
- *       committed baseline — wall clocks are machine-dependent, so
- *       deviations never fail the run.
+ *       BENCH_gpusim.json perf report plus its run ledger. --compare
+ *       prints warn-only deviations beyond the +-PCT band (default
+ *       25) against a committed baseline — wall clocks are
+ *       machine-dependent, so deviations never fail the run.
+ *
+ *   megsim-cli perf --history DIR
+ *       Fold every *.jsonl run ledger under DIR into a trajectory
+ *       table (tool, threads, status, wall seconds, final metrics).
+ *
+ *   megsim-cli ledger --validate PATH
+ *       Strictly round-trip a run ledger through the util/json parser
+ *       and the megsim-run-v1 schema; exits 7 on any unknown event,
+ *       unknown field or missing required field.
  *
  * Common options: --scale S (workload complexity), --baseline (use
  * the full Table I GPU instead of the scaled evaluation profile),
  * --threads N (worker-pool size; overrides MEGSIM_THREADS, 1 = exact
- * serial execution).
+ * serial execution), --attrib (host-cost attribution; prints where
+ * the host seconds went and records it in the ledger), --timeline
+ * PATH (per-worker host timeline, written as Chrome trace_event JSON
+ * for Perfetto; MEGSIM_TIMELINE=PATH is the env equivalent).
  *
  * Exit codes are distinct per failure class so CI can gate on them:
  * 0 success, 1 runtime/simulation failure, 2 usage, 3 load failure
  * (unknown alias, missing/unreadable input file), 4 cache
- * verification failure, 5 threshold breach. Failures print the
- * offending path or alias.
+ * verification failure, 5 threshold breach, 6 report diff mismatch,
+ * 7 invalid run ledger. Failures print the offending path or alias.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,10 +86,16 @@
 #include "core/megsim.hh"
 #include "perf/perf.hh"
 #include "exec/pool.hh"
+#include "gpusim/gpu_config.hh"
 #include "gpusim/timing_simulator.hh"
+#include "obs/attrib.hh"
+#include "obs/ledger.hh"
+#include "obs/profile.hh"
 #include "obs/stats.hh"
+#include "obs/timeline.hh"
 #include "obs/trace_export.hh"
 #include "resilience/artifact.hh"
+#include "util/json.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -83,6 +110,8 @@ constexpr int kExitUsage = 2;
 constexpr int kExitLoadFailure = 3;
 constexpr int kExitCacheFailure = 4;
 constexpr int kExitThresholdBreach = 5;
+constexpr int kExitDiffMismatch = 6;
+constexpr int kExitLedgerInvalid = 7;
 
 struct Options
 {
@@ -96,6 +125,11 @@ struct Options
     std::string check; // campaign: thresholds file
     std::string report = "campaign.json";
     std::string compare; // perf: baseline report for warn-only diff
+    std::string diffA, diffB; // campaign: reports to compare
+    std::string ledger;   // run-ledger path ("" = next to report)
+    std::string timeline; // Chrome timeline path ("" = MEGSIM_TIMELINE)
+    std::string history;  // perf: directory of run ledgers
+    std::string validate; // ledger: file to schema-check
     double band = 25.0;  // perf: comparison band (percent)
     std::size_t frameBegin = 0;
     std::size_t frameEnd = 1;
@@ -104,6 +138,7 @@ struct Options
     bool baseline = false;
     bool purge = false;
     bool outSet = false;
+    bool attrib = false; // host-cost attribution report
 };
 
 int
@@ -118,12 +153,18 @@ usage(const char *argv0)
         "       %s verify-cache [--bench ALIAS] [--cache-dir DIR]"
         " [--purge]\n"
         "       %s campaign [--benches A,B,C] [--out REPORT.json]"
-        " [--check THRESHOLDS.json] [--cache-dir DIR]\n"
+        " [--check THRESHOLDS.json] [--cache-dir DIR]"
+        " [--ledger PATH]\n"
+        "       %s campaign --diff A.json B.json\n"
         "       %s perf [--frames N] [--out BENCH_gpusim.json]"
         " [--benches A,B,C] [--compare BASELINE.json] [--band PCT]\n"
-        "options: --scale S, --baseline, --threads N\n"
+        "       %s perf --history DIR\n"
+        "       %s ledger --validate PATH\n"
+        "options: --scale S, --baseline, --threads N, --attrib,"
+        " --timeline PATH\n"
         "benches:",
-        argv0, argv0, argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+        argv0);
     for (const std::string &alias : workloads::benchmarkNames())
         std::fprintf(stderr, " %s", alias.c_str());
     std::fprintf(stderr, "\n");
@@ -191,6 +232,35 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.compare = v;
+        } else if (arg == "--diff") {
+            const char *a = next();
+            const char *b = next();
+            if (!a || !b)
+                return false;
+            opt.diffA = a;
+            opt.diffB = b;
+        } else if (arg == "--ledger") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.ledger = v;
+        } else if (arg == "--timeline") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.timeline = v;
+        } else if (arg == "--history") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.history = v;
+        } else if (arg == "--validate") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.validate = v;
+        } else if (arg == "--attrib") {
+            opt.attrib = true;
         } else if (arg == "--band") {
             const char *v = next();
             if (!v || std::atof(v) <= 0.0)
@@ -228,7 +298,8 @@ parse(int argc, char **argv, Options &opt)
     }
     return opt.command == "stats" || opt.command == "trace" ||
            opt.command == "resume" || opt.command == "verify-cache" ||
-           opt.command == "campaign" || opt.command == "perf";
+           opt.command == "campaign" || opt.command == "perf" ||
+           opt.command == "ledger";
 }
 
 std::string
@@ -340,9 +411,172 @@ splitCsvList(const std::string &text)
     return out;
 }
 
+/** <report>.json -> <report>.run.jsonl (next to the report). */
+std::string
+defaultLedgerPath(const std::string &report)
+{
+    std::string stem = report;
+    const std::string suffix = ".json";
+    if (stem.size() > suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        stem.resize(stem.size() - suffix.size());
+    return stem + ".run.jsonl";
+}
+
+/** The MEGSIM_* environment subset that shapes a run's numbers. */
+util::Json
+envManifest()
+{
+    static const char *const kVars[] = {
+        "MEGSIM_THREADS",   "MEGSIM_FRAME_LIMIT", "MEGSIM_SCALE",
+        "MEGSIM_CACHE_DIR", "MEGSIM_CHECKPOINT",  "MEGSIM_TRACE",
+        "MEGSIM_TIMELINE",  "MEGSIM_ATTRIB",
+    };
+    util::Json env = util::Json::object();
+    for (const char *var : kVars)
+        if (const char *value = std::getenv(var))
+            env.set(var, value);
+    return env;
+}
+
+/** The shared run_start manifest for campaign and perf ledgers. */
+void
+ledgerRunStart(obs::RunLedger &ledger, const char *tool,
+               std::size_t threads, std::size_t frameLimit,
+               double scale, bool baseline,
+               const std::vector<std::string> &benches)
+{
+    const gpusim::GpuConfig config =
+        baseline ? gpusim::GpuConfig::baseline()
+                 : gpusim::GpuConfig::evaluationScaled();
+    char fingerprint[20];
+    std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
+                  static_cast<unsigned long long>(
+                      config.fingerprint()));
+
+    util::Json fields = util::Json::object();
+    fields.set("tool", tool);
+    fields.set("threads", threads);
+    fields.set("frame_limit", frameLimit);
+    fields.set("scale", scale);
+    fields.set("gpu_profile", baseline ? "baseline" : "evaluation");
+    util::Json aliases = util::Json::array();
+    for (const std::string &alias : benches)
+        aliases.push(alias);
+    fields.set("benches", std::move(aliases));
+    fields.set("fingerprint", fingerprint);
+    fields.set("env", envManifest());
+    ledger.event("run_start", std::move(fields));
+}
+
+/** One `phase` event per PhaseProfiler::global() phase. */
+void
+ledgerPhases(obs::RunLedger &ledger)
+{
+    for (const obs::PhaseProfiler::Phase &p :
+         obs::PhaseProfiler::global().phases()) {
+        util::Json fields = util::Json::object();
+        fields.set("name", p.name);
+        fields.set("seconds", p.seconds);
+        fields.set("entries", p.entries);
+        ledger.event("phase", std::move(fields));
+    }
+}
+
+/** The `attrib` event from the merged obs.host.* counters. */
+void
+ledgerAttrib(obs::RunLedger &ledger, double wallSeconds)
+{
+    const obs::HostAttribSnapshot snap = obs::readHostAttrib();
+    util::Json domains = util::Json::object();
+    for (std::size_t d = 0; d < obs::kHostDomainCount; ++d)
+        domains.set(
+            obs::hostDomainName(static_cast<obs::HostDomain>(d)),
+            snap.seconds[d]);
+    util::Json fields = util::Json::object();
+    fields.set("domains", std::move(domains));
+    fields.set("coverage", snap.coverage());
+    fields.set("wall_seconds", wallSeconds);
+    ledger.event("attrib", std::move(fields));
+}
+
+/** Fixed-width attribution table for --attrib. */
+void
+printAttrib()
+{
+    const obs::HostAttribSnapshot snap = obs::readHostAttrib();
+    const double total = snap.totalSeconds();
+    if (total <= 0.0) {
+        std::printf("host attribution: nothing attributed\n");
+        return;
+    }
+    std::printf("host attribution (%.3f s attributed, named "
+                "coverage %.1f%%):\n",
+                total, snap.coverage() * 100.0);
+    for (std::size_t d = 0; d < obs::kHostDomainCount; ++d) {
+        if (snap.seconds[d] == 0.0 && snap.entries[d] == 0)
+            continue;
+        std::printf("  %-10s %10.3f s %5.1f%% %12llu entries\n",
+                    obs::hostDomainName(
+                        static_cast<obs::HostDomain>(d)),
+                    snap.seconds[d],
+                    snap.seconds[d] / total * 100.0,
+                    static_cast<unsigned long long>(
+                        snap.entries[d]));
+    }
+}
+
+/** Resolve --timeline / MEGSIM_TIMELINE and write the Chrome JSON. */
+void
+writeTimelineIfEnabled(const Options &opt)
+{
+    if (!obs::timelineEnabled())
+        return;
+    const std::string path = !opt.timeline.empty()
+                                 ? opt.timeline
+                                 : obs::timelinePath();
+    obs::writeTimelineChrome(path, obs::TimelineRecorder::global(),
+                             exec::Pool::global().workers());
+    std::printf("timeline: %s (%zu spans, %zu worker tracks)\n",
+                path.c_str(), obs::TimelineRecorder::global().size(),
+                exec::Pool::global().workers());
+}
+
+int
+runCampaignDiff(const Options &opt)
+{
+    auto a = batch::CampaignReport::load(opt.diffA);
+    if (!a.ok()) {
+        std::fprintf(stderr, "cannot load report '%s': %s\n",
+                     opt.diffA.c_str(), a.error().message.c_str());
+        return kExitLoadFailure;
+    }
+    auto b = batch::CampaignReport::load(opt.diffB);
+    if (!b.ok()) {
+        std::fprintf(stderr, "cannot load report '%s': %s\n",
+                     opt.diffB.c_str(), b.error().message.c_str());
+        return kExitLoadFailure;
+    }
+    const std::vector<std::string> diffs = batch::diffReports(*a, *b);
+    if (diffs.empty()) {
+        std::printf("reports match (modulo host-side fields): %s "
+                    "== %s\n",
+                    opt.diffA.c_str(), opt.diffB.c_str());
+        return kExitOk;
+    }
+    std::fprintf(stderr, "reports differ (%zu fields):\n",
+                 diffs.size());
+    for (const std::string &diff : diffs)
+        std::fprintf(stderr, "  %s\n", diff.c_str());
+    return kExitDiffMismatch;
+}
+
 int
 runCampaign(const Options &opt)
 {
+    if (!opt.diffA.empty())
+        return runCampaignDiff(opt);
     batch::CampaignConfig config = batch::CampaignConfig::fromEnv();
     config.benches = splitCsvList(opt.benches);
     if (!opt.cacheDir.empty())
@@ -401,26 +635,173 @@ runCampaign(const Options &opt)
     std::printf("report: %s\n", opt.report.c_str());
     obs::processRegistry().dump(std::cout, "campaign.suite.*");
 
-    if (!opt.check.empty()) {
-        const std::vector<std::string> violations =
-            batch::checkThresholds(*result, limits);
-        if (!violations.empty()) {
-            std::fprintf(stderr,
-                         "threshold check FAILED against %s:\n",
-                         opt.check.c_str());
-            for (const std::string &violation : violations)
-                std::fprintf(stderr, "  %s\n", violation.c_str());
-            return kExitThresholdBreach;
-        }
+    std::vector<std::string> violations;
+    if (!opt.check.empty())
+        violations = batch::checkThresholds(*result, limits);
+
+    // The run ledger: manifest, per-benchmark cache provenance and
+    // result rows, the wall-clock phase split, attribution (when on)
+    // and the suite metrics — assembled post-hoc from the report and
+    // the merged registries, written next to the report.
+    obs::RunLedger ledger;
+    std::vector<std::string> aliases;
+    for (const batch::BenchmarkReport &b : result->benchmarks)
+        aliases.push_back(b.alias);
+    ledgerRunStart(ledger, "campaign", result->threads,
+                   config.frameLimit, config.scale, false, aliases);
+    for (const batch::BenchmarkReport &b : result->benchmarks) {
+        util::Json fields = util::Json::object();
+        fields.set("bench", b.alias);
+        fields.set("status", b.cacheStatus);
+        fields.set("resumed_frames", b.resumedFrames);
+        ledger.event("cache", std::move(fields));
+    }
+    ledgerPhases(ledger);
+    for (const batch::BenchmarkReport &b : result->benchmarks) {
+        util::Json fields = util::Json::object();
+        fields.set("alias", b.alias);
+        fields.set("frames", b.frames);
+        fields.set("chosen_k", b.chosenK);
+        fields.set("representatives", b.representatives);
+        fields.set("reduction", b.reduction);
+        fields.set("wall_seconds", b.wallSeconds);
+        fields.set("cache_status", b.cacheStatus);
+        util::Json error = util::Json::object();
+        for (std::size_t m = 0; m < batch::kNumMetrics; ++m)
+            error.set(batch::kMetricKeys[m], b.errorPercent[m]);
+        fields.set("error", std::move(error));
+        ledger.event("bench", std::move(fields));
+    }
+    if (obs::hostAttribEnabled())
+        ledgerAttrib(ledger, result->wallSeconds);
+    {
+        util::Json values = util::Json::object();
+        values.set("mean_reduction", result->meanReduction);
+        values.set("suite_reduction", result->suiteReduction);
+        values.set("total_frames", result->totalFrames);
+        values.set("total_representatives",
+                   result->totalRepresentatives);
+        values.set("pool_utilization", result->poolUtilization);
+        util::Json fields = util::Json::object();
+        fields.set("values", std::move(values));
+        ledger.event("metrics", std::move(fields));
+    }
+    {
+        util::Json fields = util::Json::object();
+        fields.set("wall_seconds", result->wallSeconds);
+        fields.set("status",
+                   violations.empty() ? "ok" : "threshold-breach");
+        ledger.event("run_end", std::move(fields));
+    }
+    const std::string ledgerPath =
+        !opt.ledger.empty() ? opt.ledger
+                            : defaultLedgerPath(opt.report);
+    if (auto saved = ledger.save(ledgerPath); !saved.ok())
+        std::fprintf(stderr, "cannot write ledger '%s': %s\n",
+                     ledgerPath.c_str(),
+                     saved.error().message.c_str());
+    else
+        std::printf("ledger: %s (%zu events)\n", ledgerPath.c_str(),
+                    ledger.size());
+
+    writeTimelineIfEnabled(opt);
+    if (obs::hostAttribEnabled())
+        printAttrib();
+
+    if (!violations.empty()) {
+        std::fprintf(stderr, "threshold check FAILED against %s:\n",
+                     opt.check.c_str());
+        for (const std::string &violation : violations)
+            std::fprintf(stderr, "  %s\n", violation.c_str());
+        return kExitThresholdBreach;
+    }
+    if (!opt.check.empty())
         std::printf("threshold check passed against %s\n",
                     opt.check.c_str());
+    return kExitOk;
+}
+
+int
+runHistory(const Options &opt)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(opt.history, ec))
+        if (entry.path().extension() == ".jsonl")
+            paths.push_back(entry.path().string());
+    if (ec) {
+        std::fprintf(stderr, "cannot read directory '%s': %s\n",
+                     opt.history.c_str(), ec.message().c_str());
+        return kExitLoadFailure;
     }
+    std::sort(paths.begin(), paths.end());
+
+    std::size_t loaded = 0;
+    std::printf("%-28s %-9s %4s %-16s %8s  %s\n", "ledger", "tool",
+                "thr", "status", "wall_s", "metrics");
+    for (const std::string &path : paths) {
+        auto events = obs::RunLedger::load(path);
+        if (!events.ok()) {
+            std::fprintf(stderr, "skipping '%s': %s\n", path.c_str(),
+                         events.error().message.c_str());
+            continue;
+        }
+        const obs::LedgerSummary row =
+            obs::summarizeLedger(path, *events);
+        std::printf("%-28s %-9s %4zu %-16s %8.3f ",
+                    std::filesystem::path(row.path)
+                        .filename()
+                        .string()
+                        .c_str(),
+                    row.tool.c_str(), row.threads,
+                    row.status.empty() ? "(no run_end)"
+                                       : row.status.c_str(),
+                    row.wallSeconds);
+        for (const auto &[name, value] : row.metrics)
+            std::printf(" %s=%.4g", name.c_str(), value);
+        std::printf("\n");
+        ++loaded;
+    }
+    if (loaded == 0) {
+        std::fprintf(stderr, "no valid run ledgers under '%s'\n",
+                     opt.history.c_str());
+        return kExitLoadFailure;
+    }
+    return kExitOk;
+}
+
+int
+runLedgerValidate(const Options &opt)
+{
+    if (opt.validate.empty()) {
+        std::fprintf(stderr,
+                     "ledger: --validate PATH is required\n");
+        return kExitUsage;
+    }
+    auto events = obs::RunLedger::load(opt.validate);
+    if (!events.ok()) {
+        const resilience::Errc code = events.error().code;
+        std::fprintf(stderr, "ledger '%s' invalid: %s\n",
+                     opt.validate.c_str(),
+                     events.error().message.c_str());
+        // Unreadable file = load failure; readable-but-wrong = 7.
+        return code == resilience::Errc::NotFound ||
+                       code == resilience::Errc::Io
+                   ? kExitLoadFailure
+                   : kExitLedgerInvalid;
+    }
+    std::printf("ledger ok: %s (%zu events)\n", opt.validate.c_str(),
+                events->size());
     return kExitOk;
 }
 
 int
 runPerf(const Options &opt)
 {
+    if (!opt.history.empty())
+        return runHistory(opt);
+
     perf::PerfOptions options;
     options.benches = splitCsvList(opt.benches);
     options.frames = opt.frameBegin; // --frames N = frames per bench
@@ -473,6 +854,60 @@ runPerf(const Options &opt)
         return kExitRuntime;
     }
     std::printf("report: %s\n", out.c_str());
+
+    // The perf run ledger, next to BENCH_gpusim.json. The harness is
+    // deliberately poolless, so the manifest records one thread.
+    obs::RunLedger ledger;
+    std::vector<std::string> aliases;
+    for (const perf::BenchPerf &b : report->benches)
+        aliases.push_back(b.alias);
+    ledgerRunStart(ledger, "perf", 1, report->frameLimit,
+                   report->scale, report->baseline, aliases);
+    for (const perf::PhaseSplit &p : report->phases) {
+        util::Json fields = util::Json::object();
+        fields.set("name", p.name);
+        fields.set("seconds", p.seconds);
+        ledger.event("phase", std::move(fields));
+    }
+    for (const perf::BenchPerf &b : report->benches) {
+        util::Json fields = util::Json::object();
+        fields.set("alias", b.alias);
+        fields.set("frames", b.frames);
+        fields.set("wall_seconds", b.wallSeconds);
+        ledger.event("bench", std::move(fields));
+    }
+    if (obs::hostAttribEnabled())
+        ledgerAttrib(ledger, report->totalWallSeconds);
+    {
+        util::Json values = util::Json::object();
+        values.set("frames_per_sec", report->framesPerSec);
+        values.set("mcycles_per_sec", report->mcyclesPerSec);
+        values.set("total_frames", report->totalFrames);
+        values.set("total_cycles",
+                   static_cast<double>(report->totalCycles));
+        util::Json fields = util::Json::object();
+        fields.set("values", std::move(values));
+        ledger.event("metrics", std::move(fields));
+    }
+    {
+        util::Json fields = util::Json::object();
+        fields.set("wall_seconds", report->totalWallSeconds);
+        fields.set("status", "ok");
+        ledger.event("run_end", std::move(fields));
+    }
+    const std::string ledgerPath =
+        !opt.ledger.empty() ? opt.ledger : defaultLedgerPath(out);
+    if (auto saved = ledger.save(ledgerPath); !saved.ok())
+        std::fprintf(stderr, "cannot write ledger '%s': %s\n",
+                     ledgerPath.c_str(),
+                     saved.error().message.c_str());
+    else
+        std::printf("ledger: %s (%zu events)\n", ledgerPath.c_str(),
+                    ledger.size());
+
+    writeTimelineIfEnabled(opt);
+    if (obs::hostAttribEnabled())
+        printAttrib();
 
     if (haveBaseline) {
         const std::vector<std::string> warnings =
@@ -578,6 +1013,12 @@ main(int argc, char **argv)
         return usage(argv[0]);
     if (opt.threads)
         exec::Pool::setConfiguredThreads(opt.threads);
+    // Single-threaded setup: the telemetry flags must be decided
+    // before the pool spins up and the run starts timing.
+    if (opt.attrib)
+        obs::setHostAttribEnabled(true);
+    if (!opt.timeline.empty())
+        obs::setTimelineEnabled(true);
     if (opt.command == "stats")
         return runStats(opt);
     if (opt.command == "trace")
@@ -588,5 +1029,7 @@ main(int argc, char **argv)
         return runCampaign(opt);
     if (opt.command == "perf")
         return runPerf(opt);
+    if (opt.command == "ledger")
+        return runLedgerValidate(opt);
     return runVerifyCache(opt);
 }
