@@ -66,26 +66,35 @@ Campaign::Campaign(CampaignConfig config) : config_(std::move(config))
 Campaign::~Campaign() = default;
 
 BenchmarkReport
-Campaign::analyze(Item &item)
+analyzeBenchmark(const std::string &alias,
+                 megsim::BenchmarkData &data,
+                 const megsim::MegsimConfig &config)
 {
     const double t0 = obs::wallSeconds();
-    obs::TimelineRecorder::Span span("campaign.analyze", 0,
-                                     item.alias);
-    megsim::MegsimPipeline pipeline(*item.data, config_.megsim);
+    obs::TimelineRecorder::Span span("campaign.analyze", 0, alias);
+    megsim::MegsimPipeline pipeline(data, config);
     const megsim::MegsimRun run = pipeline.run();
 
     BenchmarkReport report;
-    report.alias = item.alias;
+    report.alias = alias;
     report.frames = run.numFrames;
-    report.resumedFrames = item.resumedFrames;
     report.chosenK = run.selection.chosen().k;
     report.representatives = run.numRepresentatives();
     report.reduction = run.reductionFactor();
     for (std::size_t m = 0; m < kNumMetrics; ++m)
         report.errorPercent[m] =
             pipeline.errorPercent(run, kMetrics[m]);
-    report.cacheStatus = item.cacheStatus;
     report.wallSeconds = obs::wallSeconds() - t0;
+    return report;
+}
+
+BenchmarkReport
+Campaign::analyze(Item &item)
+{
+    BenchmarkReport report =
+        analyzeBenchmark(item.alias, *item.data, config_.megsim);
+    report.resumedFrames = item.resumedFrames;
+    report.cacheStatus = item.cacheStatus;
     return report;
 }
 
@@ -156,12 +165,24 @@ Campaign::run()
     // finish (cache store + checkpoint discard) the moment its last
     // frame lands, so a killed campaign keeps its completed prefix.
     std::size_t totalUnits = fresh.size();
+    std::vector<Item *> pending;
     for (Item *item : regen) {
         item->pass = std::make_unique<megsim::GroundTruthPass>(
             *item->data, pool.workers());
         item->resumedFrames = item->pass->resumedFrames();
+        if (item->pass->remaining() == 0) {
+            // A previous run died between the cache store and the
+            // journal discard: the journal already holds every frame.
+            // Publish and discard up front — the in-job finish trigger
+            // below never fires for a zero-unit pass, and without this
+            // the finished shard would re-simulate from scratch.
+            item->pass->finish();
+            item->pass.reset();
+            continue;
+        }
         item->firstUnit = totalUnits;
         totalUnits += item->pass->remaining();
+        pending.push_back(item);
     }
 
     struct Unit
@@ -173,7 +194,7 @@ Campaign::run()
     // Map a global unit index to the regenerating benchmark owning it.
     auto ownerOf = [&](std::size_t unit) -> Item * {
         Item *owner = nullptr;
-        for (Item *item : regen) {
+        for (Item *item : pending) {
             if (item->firstUnit > unit)
                 break;
             owner = item;
@@ -250,12 +271,12 @@ Campaign::run()
             ? (busy < capacity ? busy / capacity : 1.0)
             : 1.0;
 
-    publishStats(report);
+    publishCampaignStats(report);
     return report;
 }
 
 void
-Campaign::publishStats(const CampaignReport &report)
+publishCampaignStats(const CampaignReport &report)
 {
     obs::StatsRegistry &registry = obs::processRegistry();
     for (const BenchmarkReport &b : report.benchmarks) {

@@ -59,6 +59,19 @@ struct CampaignConfig
     static CampaignConfig fromEnv();
 };
 
+/**
+ * Analyze one benchmark whose ground truth is available (cached,
+ * regenerated or installed) and fold it into a report row. Shared by
+ * the in-process Campaign and the supervised serve::Supervisor so
+ * both runners produce bit-identical rows from identical frames.
+ */
+BenchmarkReport analyzeBenchmark(const std::string &alias,
+                                 megsim::BenchmarkData &data,
+                                 const megsim::MegsimConfig &config);
+
+/** Publish campaign.<alias>.* / campaign.suite.* stats. */
+void publishCampaignStats(const CampaignReport &report);
+
 class Campaign
 {
   public:
@@ -78,7 +91,6 @@ class Campaign
     struct Item;
 
     BenchmarkReport analyze(Item &item);
-    void publishStats(const CampaignReport &report);
 
     CampaignConfig config_;
     std::vector<std::unique_ptr<Item>> items_;

@@ -99,6 +99,20 @@ CampaignReport::toJson() const
     util::Json root = util::Json::object();
     root.set("schema", kSchema);
     root.set("threads", threads);
+    root.set("degraded", degraded);
+
+    util::Json quarantineRows = util::Json::array();
+    for (const QuarantinedShard &q : quarantined) {
+        util::Json row = util::Json::object();
+        row.set("shard", q.shard);
+        row.set("bench", q.bench);
+        row.set("begin_frame", q.beginFrame);
+        row.set("end_frame", q.endFrame);
+        row.set("attempts", q.attempts);
+        row.set("reason", q.reason);
+        quarantineRows.push(std::move(row));
+    }
+    root.set("quarantined_shards", std::move(quarantineRows));
 
     util::Json rows = util::Json::array();
     for (const BenchmarkReport &b : benchmarks) {
@@ -148,6 +162,41 @@ CampaignReport::fromJson(const util::Json &json)
         report.threads = static_cast<std::size_t>(*threads);
     else
         return threads.error();
+    if (const util::Json *degraded = json.find("degraded"))
+        report.degraded = degraded->asBool();
+    if (const util::Json *qs = json.find("quarantined_shards")) {
+        if (!qs->isArray())
+            return resilience::errorf(
+                resilience::Errc::BadFormat,
+                "report: 'quarantined_shards' is not an array");
+        for (const util::Json &row : qs->items()) {
+            QuarantinedShard q;
+            const util::Json *bench = row.find("bench");
+            if (!bench || !bench->isString())
+                return resilience::errorf(
+                    resilience::Errc::BadFormat,
+                    "report: quarantined shard missing 'bench'");
+            q.bench = bench->asString();
+            struct {
+                const char *key;
+                std::size_t *out;
+            } counts[] = {
+                {"shard", &q.shard},
+                {"begin_frame", &q.beginFrame},
+                {"end_frame", &q.endFrame},
+                {"attempts", &q.attempts},
+            };
+            for (const auto &field : counts) {
+                auto v = numberAt(row, field.key);
+                if (!v.ok())
+                    return v.error();
+                *field.out = static_cast<std::size_t>(*v);
+            }
+            if (const util::Json *reason = row.find("reason"))
+                q.reason = reason->asString();
+            report.quarantined.push_back(std::move(q));
+        }
+    }
 
     const util::Json *rows = json.find("benchmarks");
     if (!rows || !rows->isArray())
@@ -366,6 +415,37 @@ diffReports(const CampaignReport &a, const CampaignReport &b)
                           kMetricKeys[m]);
             number(where, what, ra.errorPercent[m],
                    rb.errorPercent[m]);
+        }
+    }
+
+    if (a.degraded != b.degraded) {
+        std::snprintf(line, sizeof(line),
+                      "suite: degraded %s != %s",
+                      a.degraded ? "true" : "false",
+                      b.degraded ? "true" : "false");
+        diffs.emplace_back(line);
+    }
+    // Quarantine identity is the (bench, frame-range) pair; attempts
+    // and reason are host-side retry detail that legitimately varies.
+    if (a.quarantined.size() != b.quarantined.size()) {
+        std::snprintf(line, sizeof(line),
+                      "suite: %zu quarantined shards != %zu",
+                      a.quarantined.size(), b.quarantined.size());
+        diffs.emplace_back(line);
+    }
+    const std::size_t shards =
+        std::min(a.quarantined.size(), b.quarantined.size());
+    for (std::size_t i = 0; i < shards; ++i) {
+        const QuarantinedShard &qa = a.quarantined[i];
+        const QuarantinedShard &qb = b.quarantined[i];
+        if (qa.bench != qb.bench || qa.beginFrame != qb.beginFrame ||
+            qa.endFrame != qb.endFrame) {
+            std::snprintf(
+                line, sizeof(line),
+                "quarantine %zu: %s[%zu,%zu) != %s[%zu,%zu)", i,
+                qa.bench.c_str(), qa.beginFrame, qa.endFrame,
+                qb.bench.c_str(), qb.beginFrame, qb.endFrame);
+            diffs.emplace_back(line);
         }
     }
 

@@ -50,11 +50,34 @@ struct BenchmarkReport
     std::string cacheStatus = "built";
 };
 
+/**
+ * A shard the supervised runner gave up on after exhausting its retry
+ * cap (poison-shard detection): the campaign completed degraded, with
+ * the owning benchmark dropped from the result rows.
+ */
+struct QuarantinedShard
+{
+    std::size_t shard = 0;
+    std::string bench;
+    /** Frame range [begin, end) the shard covered. */
+    std::size_t beginFrame = 0;
+    std::size_t endFrame = 0;
+    std::size_t attempts = 0;
+    std::string reason;
+};
+
 struct CampaignReport
 {
     static constexpr const char *kSchema = "megsim-campaign-v1";
 
     std::size_t threads = 0;
+    /**
+     * Degraded completion: at least one shard was quarantined, its
+     * benchmark has no result row, and the CLI exits with the
+     * distinct degraded code instead of 0.
+     */
+    bool degraded = false;
+    std::vector<QuarantinedShard> quarantined;
     std::vector<BenchmarkReport> benchmarks;
 
     // Suite aggregates, derived by computeAggregates().

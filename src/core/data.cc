@@ -54,6 +54,8 @@ regeneratedCounter()
         "cache artifacts regenerated after corruption");
 }
 
+} // namespace
+
 std::vector<std::string>
 activityHeader(const gfx::SceneTrace &scene)
 {
@@ -83,24 +85,22 @@ activityToRow(const gpusim::FrameActivity &act)
 }
 
 gpusim::FrameActivity
-activityFromRow(const std::vector<double> &row, std::size_t vs,
-                std::size_t fs)
+activityFromRow(const std::vector<double> &row, std::size_t vsShaders,
+                std::size_t fsShaders)
 {
     gpusim::FrameActivity act;
     act.frameIndex = static_cast<std::uint32_t>(row[0]);
     act.primitives = static_cast<std::uint64_t>(row[1]);
     act.verticesShaded = static_cast<std::uint64_t>(row[2]);
     act.fragmentsShaded = static_cast<std::uint64_t>(row[3]);
-    for (std::size_t c = 0; c < vs; ++c)
+    for (std::size_t c = 0; c < vsShaders; ++c)
         act.vsCounts.push_back(
             static_cast<std::uint64_t>(row[4 + c]));
-    for (std::size_t c = 0; c < fs; ++c)
+    for (std::size_t c = 0; c < fsShaders; ++c)
         act.fsCounts.push_back(
-            static_cast<std::uint64_t>(row[4 + vs + c]));
+            static_cast<std::uint64_t>(row[4 + vsShaders + c]));
     return act;
 }
-
-} // namespace
 
 BenchmarkData::BenchmarkData(const gfx::SceneTrace &scene,
                              const gpusim::GpuConfig &config,
@@ -157,7 +157,7 @@ BenchmarkData::loadActivityCache()
     return CacheProbe::Loaded;
 }
 
-void
+resilience::Expected<void>
 BenchmarkData::storeActivityCache() const
 {
     obs::AttribScope loadScope(obs::HostDomain::Load);
@@ -167,8 +167,8 @@ BenchmarkData::storeActivityCache() const
     table.header = activityHeader(*scene_);
     for (const gpusim::FrameActivity &act : activities_)
         table.rows.push_back(activityToRow(act));
-    (void)resilience::writeCsvArtifact(cachePath("activity"), table,
-                                       key_, "activity");
+    return resilience::writeCsvArtifact(cachePath("activity"), table,
+                                        key_, "activity");
 }
 
 CacheProbe
@@ -217,7 +217,7 @@ BenchmarkData::probeCaches()
     return CacheProbe::Missing;
 }
 
-void
+resilience::Expected<void>
 BenchmarkData::storeStatsCache() const
 {
     obs::AttribScope loadScope(obs::HostDomain::Load);
@@ -227,8 +227,35 @@ BenchmarkData::storeStatsCache() const
     table.header = gpusim::FrameStats::csvHeader();
     for (const gpusim::FrameStats &s : stats_)
         table.rows.push_back(s.toCsvRow());
-    (void)resilience::writeCsvArtifact(cachePath("stats"), table, key_,
-                                       "stats");
+    return resilience::writeCsvArtifact(cachePath("stats"), table,
+                                        key_, "stats");
+}
+
+resilience::Expected<void>
+BenchmarkData::installGroundTruth(
+    std::vector<gpusim::FrameStats> stats,
+    std::vector<gpusim::FrameActivity> activities)
+{
+    if (stats.size() != scene_->numFrames() ||
+        activities.size() != scene_->numFrames())
+        return resilience::errorf(
+            resilience::Errc::BadFormat,
+            "'%s': installing %zu stats / %zu activity rows over "
+            "%zu frames",
+            scene_->name.c_str(), stats.size(), activities.size(),
+            scene_->numFrames());
+    stats_ = std::move(stats);
+    activities_ = std::move(activities);
+    haveStats_ = true;
+    haveActivities_ = true;
+    if (cacheDir_.empty())
+        return {};
+    createCacheDir(cacheDir_);
+    auto storedStats = storeStatsCache();
+    auto storedActs = storeActivityCache();
+    if (!storedStats.ok())
+        return storedStats;
+    return storedActs;
 }
 
 const std::vector<gpusim::FrameActivity> &
@@ -277,7 +304,9 @@ BenchmarkData::activities()
     haveActivities_ = true;
     if (!cacheDir_.empty()) {
         createCacheDir(cacheDir_);
-        storeActivityCache();
+        if (auto stored = storeActivityCache(); !stored.ok())
+            sim::warn("activity cache store failed: %s",
+                      stored.error().message.c_str());
     }
     return activities_;
 }
@@ -421,13 +450,33 @@ GroundTruthPass::finish()
         data_->activities_ = std::move(acts_);
         data_->haveActivities_ = true;
     }
+    // Store the caches FIRST and only discard the journal once both
+    // stores verifiably landed: a run killed between the stores (the
+    // `cache.store` kill site) or a failed store must leave the
+    // journal behind, so the next run resumes every committed frame
+    // instead of re-simulating the finished pass.
+    bool stored = true;
     if (!data_->cacheDir_.empty()) {
         createCacheDir(data_->cacheDir_);
-        data_->storeStatsCache();
-        data_->storeActivityCache();
+        auto stats = data_->storeStatsCache();
+        resilience::FaultInjector::global().maybeKillAtSite(
+            "cache.store");
+        auto acts = data_->storeActivityCache();
+        stored = stats.ok() && acts.ok();
+        if (!stored)
+            sim::warn("ground-truth cache store of '%s' failed (%s); "
+                      "keeping the checkpoint journal",
+                      data_->scene_->name.c_str(),
+                      (!stats.ok() ? stats : acts)
+                          .error()
+                          .message.c_str());
     }
-    if (ckpt_)
-        ckpt_->discard();
+    if (ckpt_) {
+        resilience::FaultInjector::global().maybeKillAtSite(
+            "ckpt.discard");
+        if (stored)
+            ckpt_->discard();
+    }
 }
 
 std::vector<double>

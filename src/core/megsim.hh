@@ -283,6 +283,18 @@ struct MegsimConfig
     std::size_t projectedDims = 24;
 };
 
+/**
+ * Column layout of the activity cache/journal rows (frame, primitives,
+ * vertices, fragments, then one column per vertex and fragment
+ * shader). Shared by the checkpoint journals, the cache artifacts and
+ * the serve worker protocol, which all transport the same rows.
+ */
+std::vector<std::string> activityHeader(const gfx::SceneTrace &scene);
+std::vector<double> activityToRow(const gpusim::FrameActivity &act);
+gpusim::FrameActivity activityFromRow(const std::vector<double> &row,
+                                      std::size_t vsShaders,
+                                      std::size_t fsShaders);
+
 /** Outcome of probing a benchmark's on-disk ground-truth caches. */
 enum class CacheProbe {
     Loaded,  // both artifacts verified and loaded into memory
@@ -338,14 +350,31 @@ class BenchmarkData
     /** Both passes already in memory (cache hit or pass complete). */
     bool complete() const { return haveStats_ && haveActivities_; }
 
+    /**
+     * Directory + artifact stem the cache and checkpoint files hang
+     * off; serve shard journals derive their stems from it too.
+     */
+    std::string checkpointStem() const;
+
+    /**
+     * Install externally produced ground truth (frames assembled from
+     * supervised worker shards) and store the cache artifacts. Both
+     * vectors must cover every scene frame in order. The data stays
+     * installed in memory even when a cache store fails; the first
+     * store error is returned so the caller can decide whether the
+     * on-disk state is trustworthy.
+     */
+    resilience::Expected<void>
+    installGroundTruth(std::vector<gpusim::FrameStats> stats,
+                       std::vector<gpusim::FrameActivity> activities);
+
   private:
     friend class GroundTruthPass;
 
-    std::string checkpointStem() const;
     CacheProbe loadActivityCache();
-    void storeActivityCache() const;
+    resilience::Expected<void> storeActivityCache() const;
     CacheProbe loadStatsCache();
-    void storeStatsCache() const;
+    resilience::Expected<void> storeStatsCache() const;
 
     const gfx::SceneTrace *scene_;
     gpusim::GpuConfig config_;

@@ -42,6 +42,7 @@ struct EventSpec
 constexpr FieldSpec kRunStartFields[] = {
     {"tool", FieldKind::Str, true},
     {"threads", FieldKind::Num, true},
+    {"workers", FieldKind::Num, false},
     {"frame_limit", FieldKind::Num, false},
     {"scale", FieldKind::Num, false},
     {"gpu_profile", FieldKind::Str, false},
@@ -88,6 +89,35 @@ constexpr FieldSpec kRunEndFields[] = {
     {"status", FieldKind::Str, true},
 };
 
+constexpr FieldSpec kWorkerSpawnFields[] = {
+    {"worker", FieldKind::Num, true},
+    {"pid", FieldKind::Num, true},
+    {"shard", FieldKind::Num, false},
+};
+
+constexpr FieldSpec kWorkerExitFields[] = {
+    {"worker", FieldKind::Num, true},
+    {"pid", FieldKind::Num, true},
+    {"status", FieldKind::Str, true},
+    {"reason", FieldKind::Str, false},
+    {"shard", FieldKind::Num, false},
+};
+
+constexpr FieldSpec kShardRetryFields[] = {
+    {"shard", FieldKind::Num, true},
+    {"bench", FieldKind::Str, true},
+    {"attempt", FieldKind::Num, true},
+    {"reason", FieldKind::Str, true},
+    {"backoff_ms", FieldKind::Num, false},
+};
+
+constexpr FieldSpec kShardQuarantineFields[] = {
+    {"shard", FieldKind::Num, true},
+    {"bench", FieldKind::Str, true},
+    {"attempts", FieldKind::Num, true},
+    {"reason", FieldKind::Str, true},
+};
+
 constexpr EventSpec kEventSpecs[] = {
     {"run_start", kRunStartFields, std::size(kRunStartFields)},
     {"cache", kCacheFields, std::size(kCacheFields)},
@@ -96,6 +126,12 @@ constexpr EventSpec kEventSpecs[] = {
     {"attrib", kAttribFields, std::size(kAttribFields)},
     {"metrics", kMetricsFields, std::size(kMetricsFields)},
     {"run_end", kRunEndFields, std::size(kRunEndFields)},
+    {"worker_spawn", kWorkerSpawnFields,
+     std::size(kWorkerSpawnFields)},
+    {"worker_exit", kWorkerExitFields, std::size(kWorkerExitFields)},
+    {"shard_retry", kShardRetryFields, std::size(kShardRetryFields)},
+    {"shard_quarantine", kShardQuarantineFields,
+     std::size(kShardQuarantineFields)},
 };
 
 const EventSpec *

@@ -8,9 +8,10 @@
  * number, the event type and a timestamp in seconds relative to the
  * ledger's creation. Event types:
  *
- *   run_start  manifest: tool, thread count, frame limit, scale,
- *              GPU profile, bench list, config fingerprint, and the
- *              MEGSIM_* environment subset that shaped the run
+ *   run_start  manifest: tool, thread count, supervised worker count,
+ *              frame limit, scale, GPU profile, bench list, config
+ *              fingerprint, and the MEGSIM_* environment subset that
+ *              shaped the run
  *   cache      per-benchmark cache outcome (fresh/rebuilt/built) and
  *              checkpoint-resumed frame count
  *   phase      a named wall-clock phase (seconds, entries)
@@ -19,6 +20,18 @@
  *   attrib     host-cost attribution (domain → seconds, coverage)
  *   metrics    final suite-level numbers (open key → number map)
  *   run_end    total wall seconds and exit status
+ *
+ * Supervised (multi-process) campaigns add four event types:
+ *
+ *   worker_spawn      a worker process forked (worker slot, pid)
+ *   worker_exit       a worker left the pool: status is "exit N" or
+ *                     "signal N", reason classifies the detection
+ *                     (crash / hang / corrupt-reply / shutdown), and
+ *                     shard names the in-flight shard if any
+ *   shard_retry       a failed shard rescheduled (attempt number,
+ *                     failure reason, backoff before re-dispatch)
+ *   shard_quarantine  a shard abandoned after exhausting its retry
+ *                     cap; the campaign completes degraded
  *
  * The schema is *strict*: validate() fails on an unknown event type,
  * a missing required field, or any top-level field the schema does

@@ -34,6 +34,10 @@ parseClass(const std::string &name)
         return FaultClass::FrameHang;
     if (name == "run.kill")
         return FaultClass::RunKill;
+    if (name == "worker.kill")
+        return FaultClass::WorkerKill;
+    if (name == "worker.hang")
+        return FaultClass::WorkerHang;
     return errorf(Errc::BadFormat, "unknown fault class '%s'",
                   name.c_str());
 }
@@ -83,7 +87,13 @@ parseClause(const std::string &text)
         } else if (key == "frame") {
             clause.frame = static_cast<std::uint64_t>(
                 std::atoll(value.c_str()));
-        } else if (key == "path" || key == "kind") {
+        } else if (key == "shard") {
+            clause.shard = static_cast<std::uint64_t>(
+                std::atoll(value.c_str()));
+        } else if (key == "times") {
+            clause.times = static_cast<std::uint64_t>(
+                std::atoll(value.c_str()));
+        } else if (key == "path" || key == "kind" || key == "site") {
             clause.match = value;
         } else {
             return errorf(Errc::BadFormat,
@@ -119,6 +129,8 @@ faultClassName(FaultClass cls)
       case FaultClass::CacheCorrupt: return "cache_corrupt";
       case FaultClass::FrameHang: return "frame_hang";
       case FaultClass::RunKill: return "run_kill";
+      case FaultClass::WorkerKill: return "worker_kill";
+      case FaultClass::WorkerHang: return "worker_hang";
     }
     return "?";
 }
@@ -249,6 +261,66 @@ FaultInjector::maybeKillAfterFrame(std::uint64_t frame)
                   static_cast<unsigned long long>(frame));
         std::raise(SIGKILL);
     }
+}
+
+void
+FaultInjector::maybeKillAtSite(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Armed &armed : armed_) {
+        if (armed.clause.cls != FaultClass::RunKill ||
+            armed.clause.match.empty() ||
+            site.find(armed.clause.match) == std::string::npos)
+            continue;
+        ++injectedCounter(armed.clause.cls);
+        sim::warn("fault run.kill: dying at site '%s'", site.c_str());
+        std::raise(SIGKILL);
+    }
+}
+
+bool
+FaultInjector::workerRoll(Armed &armed, FaultClass cls,
+                          std::uint64_t shard, std::uint64_t attempt)
+{
+    const FaultClause &c = armed.clause;
+    if (c.cls != cls)
+        return false;
+    if (c.shard != ~0ULL && c.shard != shard)
+        return false;
+    if (c.times != ~0ULL && attempt >= c.times)
+        return false;
+    if (c.probability < 1.0) {
+        // Pure function of (seed, shard, attempt) — no RNG stream to
+        // advance, so a freshly forked worker rolls the identical
+        // outcome for the identical shard attempt.
+        const std::uint64_t h = sim::hashMix(c.seed, shard, attempt);
+        const double u =
+            static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (u >= c.probability)
+            return false;
+    }
+    ++injectedCounter(c.cls);
+    return true;
+}
+
+bool
+FaultInjector::killWorker(std::uint64_t shard, std::uint64_t attempt)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Armed &armed : armed_)
+        if (workerRoll(armed, FaultClass::WorkerKill, shard, attempt))
+            return true;
+    return false;
+}
+
+bool
+FaultInjector::hangWorker(std::uint64_t shard, std::uint64_t attempt)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Armed &armed : armed_)
+        if (workerRoll(armed, FaultClass::WorkerHang, shard, attempt))
+            return true;
+    return false;
 }
 
 } // namespace msim::resilience

@@ -12,20 +12,38 @@
  *                                        a checksum mismatch
  *   frame.hang     frame | p, seed       a frame blows its watchdog
  *                                        budget (simulated timeout)
- *   run.kill       frame                 raise(SIGKILL) right after
- *                                        frame N is checkpointed
+ *   run.kill       frame | site          raise(SIGKILL) right after
+ *                                        frame N is checkpointed, or
+ *                                        when execution passes the
+ *                                        named kill site (substring
+ *                                        match, e.g. `site=ckpt.discard`)
+ *   worker.kill    p, seed, shard, times a supervised serve worker
+ *                                        dies (SIGKILL) right after
+ *                                        its first fresh frame commit
+ *                                        of the targeted shard attempt
+ *   worker.hang    p, seed, shard, times a supervised serve worker
+ *                                        stalls past its shard
+ *                                        deadline instead of replying
  *
  * `p` is an independent per-site probability (default 1), `seed` makes
  * the dice deterministic (default 1), `path`/`kind` are substring
- * filters. Injections are counted in the process-wide stats registry
- * under `resilience.faults.*`.
+ * filters. `shard=K` targets one shard id (default: every shard) and
+ * `times=N` fires on attempts 0..N-1 only (default: every attempt), so
+ * `worker.kill:shard=2,times=1` kills shard 2's first attempt exactly
+ * once and `worker.kill:shard=2` is a permanent poison shard.
+ * Injections are counted in the process-wide stats registry under
+ * `resilience.faults.*`.
  *
  * Thread safety: the query methods are safe to call from exec::Pool
  * workers (a mutex guards the per-clause RNG state). Frame-targeted
  * clauses (`frame=N`) stay fully deterministic at any thread count.
  * Probabilistic clauses (`p<1`) draw from one shared RNG stream, so
  * WHICH call site receives a given draw depends on scheduling; their
- * injection sequence is reproducible only at MEGSIM_THREADS=1.
+ * injection sequence is reproducible only at MEGSIM_THREADS=1 — with
+ * the exception of the worker.* classes, whose dice are a pure hash of
+ * (seed, shard, attempt): a freshly forked worker re-rolls the exact
+ * same outcome for the same shard attempt, which is what makes the
+ * supervision recovery paths deterministic across respawns.
  */
 
 #ifndef MSIM_RESILIENCE_FAULT_HH
@@ -48,6 +66,8 @@ enum class FaultClass {
     CacheCorrupt,
     FrameHang,
     RunKill,
+    WorkerKill,
+    WorkerHang,
 };
 
 const char *faultClassName(FaultClass cls);
@@ -57,8 +77,10 @@ struct FaultClause
     FaultClass cls = FaultClass::IoRead;
     double probability = 1.0;
     std::uint64_t seed = 1;
-    std::string match;                  // path/kind substring, "" = any
+    std::string match;                  // path/kind/site substring
     std::uint64_t frame = ~0ULL;        // frame.hang / run.kill target
+    std::uint64_t shard = ~0ULL;        // worker.* target (~0 = any)
+    std::uint64_t times = ~0ULL;        // worker.* attempt cap (~0 = all)
 };
 
 class FaultInjector
@@ -98,6 +120,26 @@ class FaultInjector
     /** Die (SIGKILL) if a run.kill clause targets @p frame. */
     void maybeKillAfterFrame(std::uint64_t frame);
 
+    /**
+     * Die (SIGKILL) if a run.kill clause's `site=` filter matches
+     * @p site — the hook the checkpoint discard-ordering regression
+     * test uses to kill a run between the cache store and the journal
+     * discard.
+     */
+    void maybeKillAtSite(const std::string &site);
+
+    /**
+     * Should the worker running attempt @p attempt of shard @p shard
+     * die right after its first fresh frame commit? A pure function
+     * of the clause seed and (shard, attempt): a respawned worker
+     * re-rolls the same outcome, so recovery is deterministic.
+     */
+    bool killWorker(std::uint64_t shard, std::uint64_t attempt);
+
+    /** Same targeting as killWorker(), for a stall past the shard
+     *  deadline instead of a death. */
+    bool hangWorker(std::uint64_t shard, std::uint64_t attempt);
+
   private:
     struct Armed
     {
@@ -110,6 +152,8 @@ class FaultInjector
     };
 
     bool roll(Armed &armed, const std::string &subject);
+    bool workerRoll(Armed &armed, FaultClass cls, std::uint64_t shard,
+                    std::uint64_t attempt);
 
     // Guards armed_ (RNG draws mutate per-clause state); the injector
     // is queried from pool workers during the ground-truth pass.

@@ -1,0 +1,203 @@
+#include "serve/service.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "exec/pool.hh"
+#include "obs/stats.hh"
+#include "serve/protocol.hh"
+#include "sim/logging.hh"
+
+namespace msim::serve
+{
+
+using resilience::Errc;
+using resilience::errorf;
+using resilience::Expected;
+using util::Json;
+
+namespace
+{
+
+/** A request must arrive promptly once its connection is accepted. */
+constexpr double kRequestTimeoutMs = 10000.0;
+
+Expected<int>
+bindListen(const std::string &path)
+{
+    if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path))
+        return errorf(Errc::BadFormat,
+                      "serve: unusable socket path '%s'",
+                      path.c_str());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errorf(Errc::Io, "serve: socket failed: %s",
+                      std::strerror(errno));
+    ::unlink(path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        ::close(fd);
+        return errorf(Errc::Io, "serve: bind '%s' failed: %s",
+                      path.c_str(), std::strerror(errno));
+    }
+    // The backlog IS the request queue: clients block in connect()
+    // until the server accepts them, strictly in arrival order.
+    if (::listen(fd, 16) != 0) {
+        ::close(fd);
+        return errorf(Errc::Io, "serve: listen failed: %s",
+                      std::strerror(errno));
+    }
+    return fd;
+}
+
+/** Run one request against the shared cache store. */
+Json
+serveRequest(const ServiceConfig &config, const Json &request)
+{
+    batch::CampaignConfig run = config.base;
+    if (const Json *benches = request.find("benches");
+        benches && benches->isArray()) {
+        run.benches.clear();
+        for (const Json &alias : benches->items())
+            run.benches.push_back(alias.asString());
+    }
+    SupervisorConfig sup = config.sup;
+    if (const Json *workers = request.find("workers");
+        workers && workers->isNumber())
+        sup.workers =
+            static_cast<std::size_t>(workers->asNumber());
+
+    // Per-request isolation: counters and ledger events land in this
+    // request's registry/ledger, never a neighbour's. The cache store
+    // (run.cacheDir) stays shared on purpose — a bench regenerated
+    // for one request is a cache hit for the next.
+    obs::StatsRegistry requestRegistry;
+    obs::ProcessRegistryOverride isolate(requestRegistry);
+    obs::RunLedger ledger;
+    {
+        Json fields = Json::object();
+        fields.set("tool", "serve");
+        fields.set("threads", exec::Pool::global().workers());
+        fields.set("workers", sup.workers);
+        ledger.event("run_start", std::move(fields));
+    }
+
+    Expected<batch::CampaignReport> result =
+        sup.workers > 0
+            ? Supervisor(run, sup, &ledger).run()
+            : batch::Campaign(run).run();
+
+    Json reply = Json::object();
+    reply.set("type", "campaign_result");
+    if (!result.ok()) {
+        Json fields = Json::object();
+        fields.set("wall_seconds", 0.0);
+        fields.set("status", "failed");
+        ledger.event("run_end", std::move(fields));
+        reply.set("status", "error");
+        reply.set("message", result.error().message);
+        reply.set("ledger", ledger.serialize());
+        return reply;
+    }
+    const char *status = result->degraded ? "degraded" : "ok";
+    {
+        Json fields = Json::object();
+        fields.set("wall_seconds", result->wallSeconds);
+        fields.set("status", status);
+        ledger.event("run_end", std::move(fields));
+    }
+    reply.set("status", status);
+    reply.set("report", result->toJson());
+    reply.set("ledger", ledger.serialize());
+    return reply;
+}
+
+} // namespace
+
+int
+runService(const ServiceConfig &config)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    Expected<int> listenFd = bindListen(config.socketPath);
+    if (!listenFd.ok()) {
+        sim::warn("%s", listenFd.error().message.c_str());
+        return 1;
+    }
+    sim::inform("serve: listening on %s (workers %zu)",
+              config.socketPath.c_str(), config.sup.workers);
+
+    std::size_t served = 0;
+    while (config.maxRequests == 0 || served < config.maxRequests) {
+        const int client = ::accept(*listenFd, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR)
+                continue;
+            sim::warn("serve: accept failed: %s",
+                      std::strerror(errno));
+            break;
+        }
+        Expected<Json> request =
+            readMessage(client, kRequestTimeoutMs);
+        if (!request.ok()) {
+            sim::warn("serve: dropping request: %s",
+                      request.error().message.c_str());
+            Json reply = Json::object();
+            reply.set("type", "campaign_result");
+            reply.set("status", "error");
+            reply.set("message", request.error().message);
+            (void)writeMessage(client, reply);
+            ::close(client);
+            continue;
+        }
+        const Json reply = serveRequest(config, *request);
+        if (auto sent = writeMessage(client, reply); !sent.ok())
+            sim::warn("serve: reply failed: %s",
+                      sent.error().message.c_str());
+        ::close(client);
+        ++served;
+        const Json *status = reply.find("status");
+        sim::inform("serve: request %zu done (%s)", served,
+                  status ? status->asString().c_str() : "?");
+    }
+    ::close(*listenFd);
+    ::unlink(config.socketPath.c_str());
+    return 0;
+}
+
+Expected<Json>
+submit(const std::string &socketPath, const Json &request)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errorf(Errc::Io, "submit: socket failed: %s",
+                      std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        return errorf(Errc::Io, "submit: connect '%s' failed: %s",
+                      socketPath.c_str(), std::strerror(err));
+    }
+    if (auto sent = writeMessage(fd, request); !sent.ok()) {
+        ::close(fd);
+        return sent.error();
+    }
+    Expected<Json> reply = readMessage(fd, -1.0);
+    ::close(fd);
+    return reply;
+}
+
+} // namespace msim::serve

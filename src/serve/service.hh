@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Campaign request service: a unix-domain socket accepting queued
+ * campaign requests (`megsim-cli serve --socket` / `megsim-cli
+ * submit`). Requests are one JSON frame each —
+ *
+ *   {"type": "campaign", "benches": ["hcr", ...], "workers": N}
+ *
+ * — and are served strictly in arrival order against ONE shared
+ * cache store (the listen backlog is the queue). Each request runs
+ * with its own stats registry (obs::ProcessRegistryOverride) and its
+ * own megsim-run-v1 ledger, so queued campaigns cannot bleed
+ * counters or events into each other while still sharing every
+ * verified ground-truth cache. The reply frame carries the full
+ * report, the serialized ledger, and a status of "ok", "degraded"
+ * (quarantined shards) or "error".
+ */
+
+#ifndef MSIM_SERVE_SERVICE_HH
+#define MSIM_SERVE_SERVICE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "batch/campaign.hh"
+#include "serve/supervisor.hh"
+#include "util/json.hh"
+
+namespace msim::serve
+{
+
+struct ServiceConfig
+{
+    std::string socketPath;
+    /** Stop after serving this many requests; 0 = serve forever. */
+    std::size_t maxRequests = 0;
+    /** Base campaign settings; a request's fields override these. */
+    batch::CampaignConfig base;
+    /** Supervision settings; sup.workers 0 = in-process campaigns. */
+    SupervisorConfig sup;
+};
+
+/**
+ * Bind, listen and serve until maxRequests (or forever). Returns 0 on
+ * a clean shutdown, 1 on a socket-level failure. The socket file is
+ * unlinked on exit.
+ */
+int runService(const ServiceConfig &config);
+
+/**
+ * Client side: connect to @p socketPath, send @p request as one
+ * frame, and block for the reply frame.
+ */
+resilience::Expected<util::Json>
+submit(const std::string &socketPath, const util::Json &request);
+
+} // namespace msim::serve
+
+#endif // MSIM_SERVE_SERVICE_HH

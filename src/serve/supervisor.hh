@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Crash-isolated supervised campaign runner.
+ *
+ * The Supervisor shards every benchmark needing ground-truth
+ * (re)generation into fixed-size frame ranges and farms the shards
+ * out to forked worker processes over checksummed pipe frames
+ * (serve/protocol.hh). Each worker runs its shard in full process
+ * isolation — its own address space, its own per-shard checkpoint
+ * journal — so a simulator crash, a hang, or a corrupted reply can
+ * never take the campaign down:
+ *
+ *   failure          detection                      recovery
+ *   worker death     EOF on the reply pipe,         resume the shard
+ *   (SIGKILL/SEGV/   waitpid status                 from its journal
+ *   nonzero exit)                                   on a fresh worker
+ *   worker hang      per-shard wall-clock deadline  SIGKILL + same
+ *   corrupt reply    frame checksum / parse fail    SIGKILL + same
+ *
+ * Retries back off exponentially with deterministic jitter and are
+ * capped per shard; a shard that exhausts the cap is quarantined —
+ * the campaign completes degraded, the owning benchmark is dropped
+ * from the result rows, and the report lists the shard under
+ * `quarantined_shards`. Every supervision event (worker_spawn,
+ * worker_exit, shard_retry, shard_quarantine) is recorded in the
+ * megsim-run-v1 ledger when one is attached.
+ *
+ * A crash-free supervised run is bit-identical per benchmark to the
+ * in-process batch::Campaign at ANY worker count: frames simulate
+ * cold, shard rows are reassembled in frame order, and the analysis
+ * runs through the same batch::analyzeBenchmark.
+ */
+
+#ifndef MSIM_SERVE_SUPERVISOR_HH
+#define MSIM_SERVE_SUPERVISOR_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "batch/campaign.hh"
+#include "obs/ledger.hh"
+
+namespace msim::serve
+{
+
+struct SupervisorConfig
+{
+    /** Worker processes to fork. */
+    std::size_t workers = 2;
+    /** Frames per shard (smaller = finer-grained recovery). */
+    std::size_t shardFrames = 32;
+    /** Retries per shard before quarantine. */
+    std::size_t retryCap = 3;
+    /** Exponential backoff: base, doubling per failure, capped. */
+    std::size_t backoffBaseMs = 25;
+    std::size_t backoffCapMs = 1000;
+    /**
+     * Per-shard wall deadline in ms; 0 derives one from the frame
+     * watchdog budget (MEGSIM_FRAME_BUDGET_MS) or falls back to a
+     * generous default.
+     */
+    std::size_t shardDeadlineMs = 0;
+    /** Seeds the deterministic backoff jitter. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Defaults plus MEGSIM_SHARD_FRAMES / MEGSIM_SHARD_RETRIES /
+     * MEGSIM_SHARD_DEADLINE_MS from the environment.
+     */
+    static SupervisorConfig fromEnv();
+};
+
+class Supervisor
+{
+  public:
+    /**
+     * @p ledger (optional) receives the supervision events; the
+     * campaign-level events stay the caller's job.
+     */
+    Supervisor(batch::CampaignConfig config, SupervisorConfig sup,
+               obs::RunLedger *ledger = nullptr);
+    ~Supervisor();
+
+    /**
+     * Run the suite under supervision. Returns the completed report —
+     * possibly degraded (report.degraded, report.quarantined) — or
+     * the first structured error (unknown alias, failed install).
+     */
+    resilience::Expected<batch::CampaignReport> run();
+
+  private:
+    struct Item;
+    struct Shard;
+    struct Worker;
+
+    void spawnWorker(std::size_t slot);
+    void reapWorker(std::size_t slot, const char *reason);
+    void failShard(Shard &shard, const std::string &reason);
+    void recordEvent(const char *type, util::Json fields);
+    double shardDeadlineSeconds(const Shard &shard) const;
+
+    batch::CampaignConfig config_;
+    SupervisorConfig sup_;
+    obs::RunLedger *ledger_;
+    std::vector<std::unique_ptr<Item>> items_;
+    std::vector<Shard> shards_;
+    std::vector<Worker> workers_;
+};
+
+} // namespace msim::serve
+
+#endif // MSIM_SERVE_SUPERVISOR_HH

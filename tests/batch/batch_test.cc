@@ -354,6 +354,47 @@ TEST_F(BatchTest, SigkilledCampaignResumesFromTheJournal)
                           expected->benchmarks[i], "resumed");
 }
 
+TEST_F(BatchTest, CampaignSurvivesKillInTheCacheStoreWindow)
+{
+    // Regression for the discard-ordering fix at campaign level: a
+    // kill landing between a benchmark's cache store and its journal
+    // discard must not leak work — the rerun completes and reproduces
+    // the clean run's numbers exactly.
+    const std::vector<std::string> benches = {"hcr", "jjo"};
+    const std::string cache = path("cache");
+    std::filesystem::create_directories(cache);
+
+    exec::Pool::setConfiguredThreads(2);
+    batch::Campaign ref(testConfig(path("ref_cache"), benches));
+    std::filesystem::create_directories(path("ref_cache"));
+    auto expected = ref.run();
+    ASSERT_TRUE(expected.ok()) << expected.error().message;
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        exec::Pool::setConfiguredThreads(2);
+        resilience::FaultInjector::setGlobalSpec(
+            "run.kill:site=cache.store");
+        batch::Campaign doomed(testConfig(cache, benches));
+        (void)doomed.run();
+        _exit(42); // unreachable: the first cache store kills us
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    exec::Pool::setConfiguredThreads(2);
+    batch::Campaign survivor(testConfig(cache, benches));
+    auto resumed = survivor.run();
+    ASSERT_TRUE(resumed.ok()) << resumed.error().message;
+    ASSERT_EQ(resumed->benchmarks.size(), benches.size());
+    for (std::size_t i = 0; i < benches.size(); ++i)
+        expectSameNumbers(resumed->benchmarks[i],
+                          expected->benchmarks[i], "store-window");
+}
+
 #ifndef MEGSIM_BATCH_GOLDEN_DIR
 #error "MEGSIM_BATCH_GOLDEN_DIR must point at tests/batch/golden"
 #endif

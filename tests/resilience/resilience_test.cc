@@ -329,6 +329,103 @@ TEST_F(ResilienceTest, GroundTruthSurvivesSigkillAndResumesIdentically)
     EXPECT_TRUE(std::filesystem::exists(statsPath));
 }
 
+TEST_F(ResilienceTest, KillBetweenCacheStoresKeepsJournalForResume)
+{
+    // The exact window the discard-ordering fix covers: the stats
+    // cache has landed, the activity cache has not, and the journal
+    // must still hold every committed frame.
+    const gfx::SceneTrace scene =
+        workloads::buildBenchmark("hcr", 1.0, 5);
+    const gpusim::GpuConfig config =
+        gpusim::GpuConfig::evaluationScaled();
+
+    megsim::BenchmarkData reference(scene, config, "");
+    const std::vector<gpusim::FrameStats> expected =
+        reference.frameStats();
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        FaultInjector::setGlobalSpec("run.kill:site=cache.store");
+        megsim::BenchmarkData doomed(scene, config, dir_.string());
+        doomed.frameStats();
+        _exit(42);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    megsim::BenchmarkData survivor(scene, config, dir_.string());
+    const std::string statsPath = survivor.cachePath("stats");
+    const std::string stem =
+        statsPath.substr(0, statsPath.rfind("_stats"));
+
+    // Stats cache stored, activity cache missing — and the journal
+    // survived the window, still resumable for all 5 frames.
+    EXPECT_TRUE(std::filesystem::exists(statsPath));
+    EXPECT_FALSE(
+        std::filesystem::exists(survivor.cachePath("activity")));
+    ASSERT_TRUE(std::filesystem::exists(stem + ".ckpt.manifest"));
+    {
+        Checkpoint ckpt(stem, survivor.cacheKey(), 5,
+                        gpusim::FrameStats::csvHeader().size(),
+                        4 + scene.numVertexShaders() +
+                            scene.numFragmentShaders());
+        EXPECT_EQ(ckpt.resume(), 5u);
+    }
+
+    // The next run completes with identical rows.
+    const std::vector<gpusim::FrameStats> resumed =
+        survivor.frameStats();
+    ASSERT_EQ(resumed.size(), expected.size());
+    for (std::size_t f = 0; f < expected.size(); ++f)
+        EXPECT_EQ(resumed[f].toCsvRow(), expected[f].toCsvRow())
+            << "frame " << f;
+}
+
+TEST_F(ResilienceTest, KillBeforeJournalDiscardLeavesLoadedCaches)
+{
+    // One tick later: both stores landed, the discard did not. The
+    // caches must verify, and the stale journal must stay harmless.
+    const gfx::SceneTrace scene =
+        workloads::buildBenchmark("hcr", 1.0, 5);
+    const gpusim::GpuConfig config =
+        gpusim::GpuConfig::evaluationScaled();
+
+    megsim::BenchmarkData reference(scene, config, "");
+    const std::vector<gpusim::FrameStats> expected =
+        reference.frameStats();
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        FaultInjector::setGlobalSpec("run.kill:site=ckpt.discard");
+        megsim::BenchmarkData doomed(scene, config, dir_.string());
+        doomed.frameStats();
+        _exit(42);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    megsim::BenchmarkData survivor(scene, config, dir_.string());
+    EXPECT_TRUE(readCsvArtifact(survivor.cachePath("stats"),
+                                survivor.cacheKey(), "stats")
+                    .ok());
+    EXPECT_TRUE(readCsvArtifact(survivor.cachePath("activity"),
+                                survivor.cacheKey(), "activity")
+                    .ok());
+    EXPECT_EQ(survivor.probeCaches(), megsim::CacheProbe::Loaded);
+    const std::vector<gpusim::FrameStats> loaded =
+        survivor.frameStats();
+    ASSERT_EQ(loaded.size(), expected.size());
+    for (std::size_t f = 0; f < expected.size(); ++f)
+        EXPECT_EQ(loaded[f].toCsvRow(), expected[f].toCsvRow())
+            << "frame " << f;
+}
+
 TEST_F(ResilienceTest, CorruptedCacheIsDetectedAndRegenerated)
 {
     const gfx::SceneTrace scene = workloads::buildBenchmark("hcr", 1.0, 4);

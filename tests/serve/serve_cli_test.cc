@@ -1,0 +1,213 @@
+/**
+ * @file
+ * End-to-end tests for the supervised campaign CLI surface:
+ * `campaign --workers N`, the degraded exit code 8, and the
+ * `serve --socket` / `submit` request queue. The harness passes the
+ * built megsim-cli path as argv[1] (see tests/CMakeLists.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace
+{
+
+std::string cliPath;
+
+std::string
+slurp(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::filesystem::path
+tempDir()
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        "megsim_serve_cli_test";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/**
+ * Run the CLI with @p env prepended (fault spec, cache dir) under a
+ * bounded frame limit; returns the exit code.
+ */
+int
+runCli(const std::string &env, const std::string &args,
+       const std::filesystem::path &log)
+{
+    const std::string cmd = "MEGSIM_FRAME_LIMIT=6 " + env + " " +
+                            cliPath + " " + args + " > " +
+                            log.string() + " 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/**
+ * A cold per-test cache directory. Wiped on every call: a cache left
+ * over from a previous run would make the supervisor see every
+ * benchmark as fresh, skip shard work entirely, and never trip the
+ * injected worker faults these tests depend on.
+ */
+std::string
+cacheEnv(const std::string &name)
+{
+    const std::filesystem::path dir = tempDir() / name;
+    std::filesystem::remove_all(dir);
+    return "MEGSIM_CACHE_DIR=" + dir.string();
+}
+
+} // namespace
+
+TEST(ServeCli, SupervisedCampaignSurvivesKillsAndDiffsClean)
+{
+    ASSERT_FALSE(cliPath.empty()) << "pass megsim-cli path as argv[1]";
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path supervised = dir / "supervised.json";
+    const std::filesystem::path inprocess = dir / "inprocess.json";
+    const std::filesystem::path ledger = dir / "supervised.run.jsonl";
+    const std::filesystem::path log = dir / "supervised.log";
+
+    // Two worker crashes injected; the supervisor must recover and
+    // still exit 0 with the same numbers as the in-process run.
+    ASSERT_EQ(runCli(cacheEnv("sup_cache") +
+                         " MEGSIM_SHARD_FRAMES=4"
+                         " MEGSIM_FAULTS='worker.kill:shard=1,times=1"
+                         ";worker.kill:shard=2,times=1'",
+                     "campaign --benches hcr,jjo --workers 2 --out " +
+                         supervised.string() + " --ledger " +
+                         ledger.string(),
+                     log),
+              0)
+        << slurp(log);
+    ASSERT_EQ(runCli(cacheEnv("inproc_cache"),
+                     "campaign --benches hcr,jjo --out " +
+                         inprocess.string(),
+                     log),
+              0)
+        << slurp(log);
+    EXPECT_EQ(runCli("", "campaign --diff " + supervised.string() +
+                             " " + inprocess.string(),
+                     log),
+              0)
+        << slurp(log);
+
+    // The ledger validates strictly and tells the supervision story.
+    EXPECT_EQ(runCli("", "ledger --validate " + ledger.string(), log),
+              0)
+        << slurp(log);
+    const std::string text = slurp(ledger);
+    EXPECT_NE(text.find("\"event\":\"worker_spawn\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"event\":\"worker_exit\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"event\":\"shard_retry\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"workers\":2"), std::string::npos);
+}
+
+TEST(ServeCli, PoisonShardDegradesTheCampaignWithExitEight)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path report = dir / "degraded.json";
+    const std::filesystem::path log = dir / "degraded.log";
+
+    const int rc = runCli(
+        cacheEnv("poison_cache") +
+            " MEGSIM_SHARD_FRAMES=6 MEGSIM_SHARD_RETRIES=1"
+            " MEGSIM_FAULTS=worker.kill:shard=0",
+        "campaign --benches hcr,jjo --workers 2 --out " +
+            report.string(),
+        log);
+    EXPECT_EQ(rc, 8) << slurp(log);
+    EXPECT_NE(slurp(log).find("quarantined"), std::string::npos);
+
+    const std::string text = slurp(report);
+    EXPECT_NE(text.find("\"degraded\": true"), std::string::npos);
+    EXPECT_NE(text.find("\"quarantined_shards\""), std::string::npos);
+    EXPECT_NE(text.find("\"bench\": \"hcr\""), std::string::npos);
+    // The healthy benchmark still has its row.
+    EXPECT_NE(text.find("\"alias\": \"jjo\""), std::string::npos);
+}
+
+TEST(ServeCli, ServeAnswersQueuedSubmitsOverOneSharedCache)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path socket = dir / "serve.sock";
+    const std::filesystem::path serveLog = dir / "serve.log";
+    const std::filesystem::path log = dir / "submit.log";
+    std::filesystem::remove(socket);
+
+    // Background server: supervised workers, exits after 2 requests.
+    const std::string serveCmd =
+        "MEGSIM_FRAME_LIMIT=6 " + cacheEnv("serve_cache") + " " +
+        cliPath + " serve --socket " + socket.string() +
+        " --max-requests 2 --workers 2 > " + serveLog.string() +
+        " 2>&1 &";
+    ASSERT_EQ(std::system(serveCmd.c_str()), 0);
+    for (int i = 0; i < 100 && !std::filesystem::exists(socket); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(std::filesystem::exists(socket)) << slurp(serveLog);
+
+    const std::filesystem::path first = dir / "first.json";
+    const std::filesystem::path firstLedger =
+        dir / "first.run.jsonl";
+    EXPECT_EQ(runCli("", "submit --socket " + socket.string() +
+                             " --benches hcr --out " + first.string() +
+                             " --ledger " + firstLedger.string(),
+                     log),
+              0)
+        << slurp(log) << slurp(serveLog);
+    EXPECT_NE(slurp(first).find("\"alias\": \"hcr\""),
+              std::string::npos);
+    EXPECT_EQ(runCli("",
+                     "ledger --validate " + firstLedger.string(), log),
+              0)
+        << slurp(log);
+
+    // Second request shares the cache: hcr is now a verified hit.
+    EXPECT_EQ(runCli("", "submit --socket " + socket.string() +
+                             " --benches hcr,jjo",
+                     log),
+              0)
+        << slurp(log) << slurp(serveLog);
+    EXPECT_NE(slurp(log).find("fresh"), std::string::npos)
+        << slurp(log);
+
+    // The server saw both requests and tore the socket down.
+    for (int i = 0; i < 100 && std::filesystem::exists(socket); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(std::filesystem::exists(socket)) << slurp(serveLog);
+    const std::string served = slurp(serveLog);
+    EXPECT_NE(served.find("request 2 done"), std::string::npos);
+}
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && argv[1][0] != '-') {
+        cliPath = argv[1];
+        // Hide the extra argument from gtest's flag parser.
+        for (int i = 1; i + 1 < argc; ++i)
+            argv[i] = argv[i + 1];
+        --argc;
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

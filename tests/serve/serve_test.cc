@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "batch/campaign.hh"
+#include "obs/ledger.hh"
+#include "resilience/fault.hh"
+#include "serve/protocol.hh"
+#include "serve/supervisor.hh"
+
+using namespace msim;
+using resilience::Errc;
+using resilience::FaultInjector;
+
+namespace
+{
+
+/** Fresh scratch dir per test; worker faults disarmed on both ends. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        FaultInjector::setGlobalSpec("");
+        dir_ = std::filesystem::temp_directory_path() /
+               ("megsim_serve_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        FaultInjector::setGlobalSpec("");
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+/** RAII pipe pair for the protocol tests. */
+struct Pipe
+{
+    int fds[2] = {-1, -1};
+    Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+    ~Pipe()
+    {
+        closeRead();
+        closeWrite();
+    }
+    void closeRead()
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        fds[0] = -1;
+    }
+    void closeWrite()
+    {
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+        fds[1] = -1;
+    }
+};
+
+batch::CampaignConfig
+campaignConfig(const std::string &cacheDir,
+               const std::vector<std::string> &benches,
+               std::size_t frames)
+{
+    batch::CampaignConfig config;
+    config.benches = benches;
+    config.cacheDir = cacheDir;
+    config.frameLimit = frames;
+    config.megsim.selector.kmeans.seed = 0x4d4547;
+    return config;
+}
+
+/** Fast supervision settings: near-zero backoff, fine shards. */
+serve::SupervisorConfig
+supConfig(std::size_t workers)
+{
+    serve::SupervisorConfig sup;
+    sup.workers = workers;
+    sup.shardFrames = 4;
+    sup.retryCap = 3;
+    sup.backoffBaseMs = 1;
+    sup.backoffCapMs = 4;
+    return sup;
+}
+
+} // namespace
+
+TEST_F(ServeTest, FramesRoundTripThroughAPipe)
+{
+    Pipe pipe;
+    util::Json msg = util::Json::object();
+    msg.set("type", "shard");
+    msg.set("shard", static_cast<std::size_t>(7));
+    msg.set("bench", "hcr");
+    ASSERT_TRUE(serve::writeMessage(pipe.fds[1], msg).ok());
+
+    auto read = serve::readMessage(pipe.fds[0], 1000.0);
+    ASSERT_TRUE(read.ok()) << read.error().message;
+    EXPECT_EQ(read->dump(), msg.dump());
+
+    // Two frames queue back to back without bleeding into each other.
+    ASSERT_TRUE(serve::writeMessage(pipe.fds[1], msg).ok());
+    ASSERT_TRUE(serve::writeMessage(pipe.fds[1], msg).ok());
+    EXPECT_TRUE(serve::readMessage(pipe.fds[0], 1000.0).ok());
+    EXPECT_TRUE(serve::readMessage(pipe.fds[0], 1000.0).ok());
+}
+
+TEST_F(ServeTest, CorruptPayloadIsBadChecksumNotGarbage)
+{
+    Pipe pipe;
+    util::Json msg = util::Json::object();
+    msg.set("type", "shard");
+    ASSERT_TRUE(serve::writeMessage(pipe.fds[1], msg).ok());
+
+    // Flip one payload byte on the wire: header (24 bytes) intact,
+    // checksum now wrong.
+    std::string raw(64, '\0');
+    const ssize_t got = ::read(pipe.fds[0], raw.data(), raw.size());
+    ASSERT_GT(got, 24);
+    raw.resize(static_cast<std::size_t>(got));
+    raw[30] ^= 0x20;
+    Pipe corrupted;
+    ASSERT_EQ(::write(corrupted.fds[1], raw.data(), raw.size()),
+              static_cast<ssize_t>(raw.size()));
+
+    auto read = serve::readMessage(corrupted.fds[0], 1000.0);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.error().code, Errc::BadChecksum);
+}
+
+TEST_F(ServeTest, PeerDeathAndSilenceAreDistinctErrors)
+{
+    // EOF (peer closed) → Truncated: the supervisor's "crash" path.
+    {
+        Pipe pipe;
+        pipe.closeWrite();
+        auto read = serve::readFrame(pipe.fds[0], 1000.0);
+        ASSERT_FALSE(read.ok());
+        EXPECT_EQ(read.error().code, Errc::Truncated);
+    }
+    // Open but silent → FrameTimeout: the supervisor's "hang" path.
+    {
+        Pipe pipe;
+        auto read = serve::readFrame(pipe.fds[0], 50.0);
+        ASSERT_FALSE(read.ok());
+        EXPECT_EQ(read.error().code, Errc::FrameTimeout);
+    }
+}
+
+TEST_F(ServeTest, ShardRequestsRoundTripAndValidate)
+{
+    serve::ShardSpec spec;
+    spec.id = 3;
+    spec.bench = "jjo";
+    spec.beginFrame = 8;
+    spec.endFrame = 12;
+    spec.attempt = 2;
+    auto parsed = serve::parseShardRequest(serve::shardRequest(spec));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_EQ(parsed->id, 3u);
+    EXPECT_EQ(parsed->bench, "jjo");
+    EXPECT_EQ(parsed->beginFrame, 8u);
+    EXPECT_EQ(parsed->endFrame, 12u);
+    EXPECT_EQ(parsed->attempt, 2u);
+
+    // An empty range is malformed, not a zero-work success.
+    spec.endFrame = spec.beginFrame;
+    EXPECT_FALSE(
+        serve::parseShardRequest(serve::shardRequest(spec)).ok());
+}
+
+TEST_F(ServeTest, WorkerFaultDiceAreDeterministicPerShardAttempt)
+{
+    FaultInjector::setGlobalSpec("worker.kill:shard=2,times=1");
+    FaultInjector &faults = FaultInjector::global();
+    // Fires on shard 2's first attempt only — and re-rolls the SAME
+    // outcome on every query, as a respawned worker would.
+    EXPECT_TRUE(faults.killWorker(2, 0));
+    EXPECT_TRUE(faults.killWorker(2, 0));
+    EXPECT_FALSE(faults.killWorker(2, 1));
+    EXPECT_FALSE(faults.killWorker(1, 0));
+    EXPECT_FALSE(faults.hangWorker(2, 0)); // different class, no clause
+
+    FaultInjector::setGlobalSpec("worker.hang:shard=1");
+    EXPECT_TRUE(FaultInjector::global().hangWorker(1, 0));
+    EXPECT_TRUE(FaultInjector::global().hangWorker(1, 5));
+    EXPECT_FALSE(FaultInjector::global().hangWorker(0, 0));
+}
+
+TEST_F(ServeTest, SupervisedRunsMatchInProcessAtEveryWorkerCount)
+{
+    const std::vector<std::string> benches = {"hcr", "jjo"};
+    constexpr std::size_t kFrames = 12;
+
+    // In-process reference, no faults.
+    std::filesystem::create_directories(path("ref"));
+    batch::Campaign ref(
+        campaignConfig(path("ref"), benches, kFrames));
+    auto expected = ref.run();
+    ASSERT_TRUE(expected.ok()) << expected.error().message;
+
+    for (std::size_t workers : {1u, 2u, 4u}) {
+        // Kill the first attempt of two different shards: every run
+        // exercises crash detection, journal resume and re-dispatch.
+        FaultInjector::setGlobalSpec(
+            "worker.kill:shard=1,times=1;worker.kill:shard=2,times=1");
+        const std::string cache =
+            path("w" + std::to_string(workers));
+        std::filesystem::create_directories(cache);
+        serve::Supervisor supervisor(
+            campaignConfig(cache, benches, kFrames),
+            supConfig(workers));
+        auto report = supervisor.run();
+        FaultInjector::setGlobalSpec("");
+        ASSERT_TRUE(report.ok()) << report.error().message;
+        EXPECT_FALSE(report->degraded);
+
+        const std::vector<std::string> diffs =
+            batch::diffReports(*expected, *report);
+        EXPECT_TRUE(diffs.empty())
+            << workers << " workers: " << diffs.front();
+    }
+}
+
+TEST_F(ServeTest, PoisonShardIsQuarantinedAndTheRestCompletes)
+{
+    const std::vector<std::string> benches = {"hcr", "jjo"};
+    constexpr std::size_t kFrames = 6;
+
+    // Shard 0 (hcr's only shard at shardFrames=6) dies on EVERY
+    // attempt: the retry cap must trip, not spin forever.
+    FaultInjector::setGlobalSpec("worker.kill:shard=0");
+    serve::SupervisorConfig sup = supConfig(2);
+    sup.shardFrames = kFrames;
+    sup.retryCap = 1;
+    obs::RunLedger ledger;
+    serve::Supervisor supervisor(
+        campaignConfig(path("cache"), benches, kFrames), sup,
+        &ledger);
+    auto report = supervisor.run();
+    FaultInjector::setGlobalSpec("");
+    ASSERT_TRUE(report.ok()) << report.error().message;
+
+    EXPECT_TRUE(report->degraded);
+    ASSERT_EQ(report->quarantined.size(), 1u);
+    EXPECT_EQ(report->quarantined[0].bench, "hcr");
+    EXPECT_EQ(report->quarantined[0].beginFrame, 0u);
+    EXPECT_EQ(report->quarantined[0].endFrame, kFrames);
+    EXPECT_EQ(report->quarantined[0].attempts, sup.retryCap + 1);
+    EXPECT_FALSE(report->quarantined[0].reason.empty());
+
+    // The poisoned benchmark has no result row; the healthy one does.
+    ASSERT_EQ(report->benchmarks.size(), 1u);
+    EXPECT_EQ(report->benchmarks[0].alias, "jjo");
+
+    // The ledger carries the full supervision story.
+    std::size_t retries = 0, quarantines = 0, spawns = 0;
+    for (const util::Json &ev : ledger.events()) {
+        const std::string type = ev.find("event")->asString();
+        retries += type == "shard_retry";
+        quarantines += type == "shard_quarantine";
+        spawns += type == "worker_spawn";
+        ASSERT_TRUE(obs::RunLedger::validateEvent(ev).ok());
+    }
+    EXPECT_EQ(retries, sup.retryCap);
+    EXPECT_EQ(quarantines, 1u);
+    EXPECT_GE(spawns, 2u);
+
+    // The degraded report round-trips bit-for-bit.
+    auto back = batch::CampaignReport::fromJson(report->toJson());
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    EXPECT_EQ(back->toJson().dump(), report->toJson().dump());
+    EXPECT_TRUE(batch::diffReports(*report, *back).empty());
+}

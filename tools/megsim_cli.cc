@@ -25,13 +25,29 @@
  *
  *   megsim-cli campaign [--benches A,B,C] [--out campaign.json]
  *                       [--check thresholds.json] [--cache-dir DIR]
- *                       [--ledger PATH]
+ *                       [--ledger PATH] [--workers N]
  *       Run the full MEGsim pipeline for the whole benchmark suite
  *       through one shared worker pool and write the machine-readable
  *       accuracy report CI gates on. --check compares the report
  *       against a thresholds file and fails on any regression. Every
  *       successful campaign also writes a megsim-run-v1 JSONL run
  *       ledger next to the report (<report>.run.jsonl, or --ledger).
+ *       --workers N (default 0 = in-process) regenerates ground truth
+ *       under the crash-isolated supervisor: N forked worker
+ *       processes, per-shard retry/backoff, poison-shard quarantine.
+ *       A degraded (quarantined) campaign exits 8; the worker count
+ *       is recorded in the ledger's run_start manifest.
+ *
+ *   megsim-cli serve --socket PATH [--max-requests N] [--workers N]
+ *                    [--benches A,B,C] [--cache-dir DIR]
+ *       Listen on a unix-domain socket and serve queued campaign
+ *       requests in arrival order against one shared cache store,
+ *       each with its own stats registry and run ledger.
+ *
+ *   megsim-cli submit --socket PATH [--benches A,B,C] [--workers N]
+ *                     [--out REPORT.json] [--ledger PATH]
+ *       Send one campaign request to a running `serve` and print the
+ *       returned report; exits 8 if the served campaign degraded.
  *
  *   megsim-cli campaign --diff A.json B.json
  *       Compare two campaign reports modulo the documented host-side
@@ -69,7 +85,8 @@
  * 0 success, 1 runtime/simulation failure, 2 usage, 3 load failure
  * (unknown alias, missing/unreadable input file), 4 cache
  * verification failure, 5 threshold breach, 6 report diff mismatch,
- * 7 invalid run ledger. Failures print the offending path or alias.
+ * 7 invalid run ledger, 8 degraded campaign (quarantined shards).
+ * Failures print the offending path or alias.
  */
 
 #include <algorithm>
@@ -95,6 +112,8 @@
 #include "obs/timeline.hh"
 #include "obs/trace_export.hh"
 #include "resilience/artifact.hh"
+#include "serve/service.hh"
+#include "serve/supervisor.hh"
 #include "util/json.hh"
 #include "workloads/workloads.hh"
 
@@ -112,6 +131,7 @@ constexpr int kExitCacheFailure = 4;
 constexpr int kExitThresholdBreach = 5;
 constexpr int kExitDiffMismatch = 6;
 constexpr int kExitLedgerInvalid = 7;
+constexpr int kExitDegraded = 8;
 
 struct Options
 {
@@ -130,7 +150,10 @@ struct Options
     std::string timeline; // Chrome timeline path ("" = MEGSIM_TIMELINE)
     std::string history;  // perf: directory of run ledgers
     std::string validate; // ledger: file to schema-check
+    std::string socket;   // serve/submit: unix socket path
     double band = 25.0;  // perf: comparison band (percent)
+    std::size_t workers = 0; // supervised workers (0 = in-process)
+    std::size_t maxRequests = 0; // serve: 0 = serve forever
     std::size_t frameBegin = 0;
     std::size_t frameEnd = 1;
     double scale = 1.0;
@@ -139,6 +162,7 @@ struct Options
     bool purge = false;
     bool outSet = false;
     bool attrib = false; // host-cost attribution report
+    bool workersSet = false; // submit: forward --workers only if given
 };
 
 int
@@ -154,8 +178,12 @@ usage(const char *argv0)
         " [--purge]\n"
         "       %s campaign [--benches A,B,C] [--out REPORT.json]"
         " [--check THRESHOLDS.json] [--cache-dir DIR]"
-        " [--ledger PATH]\n"
+        " [--ledger PATH] [--workers N]\n"
         "       %s campaign --diff A.json B.json\n"
+        "       %s serve --socket PATH [--max-requests N]"
+        " [--workers N] [--benches A,B,C] [--cache-dir DIR]\n"
+        "       %s submit --socket PATH [--benches A,B,C]"
+        " [--workers N] [--out REPORT.json] [--ledger PATH]\n"
         "       %s perf [--frames N] [--out BENCH_gpusim.json]"
         " [--benches A,B,C] [--compare BASELINE.json] [--band PCT]\n"
         "       %s perf --history DIR\n"
@@ -164,7 +192,7 @@ usage(const char *argv0)
         " --timeline PATH\n"
         "benches:",
         argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-        argv0);
+        argv0, argv0, argv0);
     for (const std::string &alias : workloads::benchmarkNames())
         std::fprintf(stderr, " %s", alias.c_str());
     std::fprintf(stderr, "\n");
@@ -281,6 +309,23 @@ parse(int argc, char **argv, Options &opt)
             if (!v || std::atoll(v) < 1)
                 return false;
             opt.threads = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--workers") {
+            const char *v = next();
+            if (!v || std::atoll(v) < 0)
+                return false;
+            opt.workers = static_cast<std::size_t>(std::atoll(v));
+            opt.workersSet = true;
+        } else if (arg == "--socket") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.socket = v;
+        } else if (arg == "--max-requests") {
+            const char *v = next();
+            if (!v || std::atoll(v) < 0)
+                return false;
+            opt.maxRequests =
+                static_cast<std::size_t>(std::atoll(v));
         } else if (arg == "--cache-dir") {
             const char *v = next();
             if (!v)
@@ -299,7 +344,8 @@ parse(int argc, char **argv, Options &opt)
     return opt.command == "stats" || opt.command == "trace" ||
            opt.command == "resume" || opt.command == "verify-cache" ||
            opt.command == "campaign" || opt.command == "perf" ||
-           opt.command == "ledger";
+           opt.command == "ledger" || opt.command == "serve" ||
+           opt.command == "submit";
 }
 
 std::string
@@ -440,12 +486,16 @@ envManifest()
     return env;
 }
 
-/** The shared run_start manifest for campaign and perf ledgers. */
+/**
+ * The shared run_start manifest for campaign and perf ledgers.
+ * @p workers is the supervised worker-process count (0 = in-process).
+ */
 void
 ledgerRunStart(obs::RunLedger &ledger, const char *tool,
                std::size_t threads, std::size_t frameLimit,
                double scale, bool baseline,
-               const std::vector<std::string> &benches)
+               const std::vector<std::string> &benches,
+               std::size_t workers = 0)
 {
     const gpusim::GpuConfig config =
         baseline ? gpusim::GpuConfig::baseline()
@@ -458,6 +508,7 @@ ledgerRunStart(obs::RunLedger &ledger, const char *tool,
     util::Json fields = util::Json::object();
     fields.set("tool", tool);
     fields.set("threads", threads);
+    fields.set("workers", workers);
     fields.set("frame_limit", frameLimit);
     fields.set("scale", scale);
     fields.set("gpu_profile", baseline ? "baseline" : "evaluation");
@@ -572,6 +623,38 @@ runCampaignDiff(const Options &opt)
     return kExitDiffMismatch;
 }
 
+/** The human-readable campaign table (campaign and submit). */
+void
+printCampaignReport(const batch::CampaignReport &report)
+{
+    std::printf("# campaign: %zu benchmarks, %zu threads, "
+                "mean reduction %.1fx, suite reduction %.1fx, "
+                "pool utilization %.0f%%\n",
+                report.benchmarks.size(), report.threads,
+                report.meanReduction, report.suiteReduction,
+                report.poolUtilization * 100.0);
+    std::printf("%-10s %8s %4s %6s %10s %8s %8s %8s %8s  %s\n",
+                "benchmark", "frames", "k", "reps", "reduction",
+                "cycles%", "dram%", "l2%", "tile%", "cache");
+    for (const batch::BenchmarkReport &b : report.benchmarks)
+        std::printf("%-10s %8zu %4zu %6zu %9.1fx %8.3f %8.3f %8.3f "
+                    "%8.3f  %s\n",
+                    b.alias.c_str(), b.frames, b.chosenK,
+                    b.representatives, b.reduction, b.errorPercent[0],
+                    b.errorPercent[1], b.errorPercent[2],
+                    b.errorPercent[3], b.cacheStatus.c_str());
+    for (const batch::QuarantinedShard &q : report.quarantined)
+        std::fprintf(stderr,
+                     "quarantined: shard %zu %s [%zu,%zu) after %zu "
+                     "attempts: %s\n",
+                     q.shard, q.bench.c_str(), q.beginFrame,
+                     q.endFrame, q.attempts, q.reason.c_str());
+    if (report.degraded)
+        std::fprintf(stderr,
+                     "campaign DEGRADED: %zu shard(s) quarantined\n",
+                     report.quarantined.size());
+}
+
 int
 runCampaign(const Options &opt)
 {
@@ -599,8 +682,26 @@ runCampaign(const Options &opt)
         limits = *loaded;
     }
 
-    batch::Campaign campaign(config);
-    auto result = campaign.run();
+    // The ledger opens BEFORE the run: a supervised campaign streams
+    // its worker_spawn/worker_exit/shard_retry/shard_quarantine events
+    // live, so run_start must already be on record.
+    obs::RunLedger ledger;
+    const std::vector<std::string> aliases =
+        config.benches.empty() ? workloads::benchmarkNames()
+                               : config.benches;
+    ledgerRunStart(ledger, "campaign", exec::Pool::global().workers(),
+                   config.frameLimit, config.scale, false, aliases,
+                   opt.workers);
+
+    auto result = [&]() {
+        if (opt.workers > 0) {
+            serve::SupervisorConfig sup =
+                serve::SupervisorConfig::fromEnv();
+            sup.workers = opt.workers;
+            return serve::Supervisor(config, sup, &ledger).run();
+        }
+        return batch::Campaign(config).run();
+    }();
     if (!result.ok()) {
         const bool load =
             result.error().code == resilience::Errc::UnknownAlias;
@@ -616,22 +717,7 @@ runCampaign(const Options &opt)
         return kExitRuntime;
     }
 
-    std::printf("# campaign: %zu benchmarks, %zu threads, "
-                "mean reduction %.1fx, suite reduction %.1fx, "
-                "pool utilization %.0f%%\n",
-                result->benchmarks.size(), result->threads,
-                result->meanReduction, result->suiteReduction,
-                result->poolUtilization * 100.0);
-    std::printf("%-10s %8s %4s %6s %10s %8s %8s %8s %8s  %s\n",
-                "benchmark", "frames", "k", "reps", "reduction",
-                "cycles%", "dram%", "l2%", "tile%", "cache");
-    for (const batch::BenchmarkReport &b : result->benchmarks)
-        std::printf("%-10s %8zu %4zu %6zu %9.1fx %8.3f %8.3f %8.3f "
-                    "%8.3f  %s\n",
-                    b.alias.c_str(), b.frames, b.chosenK,
-                    b.representatives, b.reduction, b.errorPercent[0],
-                    b.errorPercent[1], b.errorPercent[2],
-                    b.errorPercent[3], b.cacheStatus.c_str());
+    printCampaignReport(*result);
     std::printf("report: %s\n", opt.report.c_str());
     obs::processRegistry().dump(std::cout, "campaign.suite.*");
 
@@ -639,16 +725,10 @@ runCampaign(const Options &opt)
     if (!opt.check.empty())
         violations = batch::checkThresholds(*result, limits);
 
-    // The run ledger: manifest, per-benchmark cache provenance and
+    // The rest of the ledger: per-benchmark cache provenance and
     // result rows, the wall-clock phase split, attribution (when on)
     // and the suite metrics — assembled post-hoc from the report and
     // the merged registries, written next to the report.
-    obs::RunLedger ledger;
-    std::vector<std::string> aliases;
-    for (const batch::BenchmarkReport &b : result->benchmarks)
-        aliases.push_back(b.alias);
-    ledgerRunStart(ledger, "campaign", result->threads,
-                   config.frameLimit, config.scale, false, aliases);
     for (const batch::BenchmarkReport &b : result->benchmarks) {
         util::Json fields = util::Json::object();
         fields.set("bench", b.alias);
@@ -689,8 +769,10 @@ runCampaign(const Options &opt)
     {
         util::Json fields = util::Json::object();
         fields.set("wall_seconds", result->wallSeconds);
-        fields.set("status",
-                   violations.empty() ? "ok" : "threshold-breach");
+        fields.set("status", result->degraded ? "degraded"
+                             : violations.empty()
+                                 ? "ok"
+                                 : "threshold-breach");
         ledger.event("run_end", std::move(fields));
     }
     const std::string ledgerPath =
@@ -713,12 +795,112 @@ runCampaign(const Options &opt)
                      opt.check.c_str());
         for (const std::string &violation : violations)
             std::fprintf(stderr, "  %s\n", violation.c_str());
-        return kExitThresholdBreach;
+        // Degraded wins: a quarantined shard means the report itself
+        // is incomplete, which subsumes any threshold reading.
+        return result->degraded ? kExitDegraded
+                                : kExitThresholdBreach;
     }
     if (!opt.check.empty())
         std::printf("threshold check passed against %s\n",
                     opt.check.c_str());
-    return kExitOk;
+    return result->degraded ? kExitDegraded : kExitOk;
+}
+
+int
+runServe(const Options &opt)
+{
+    if (opt.socket.empty()) {
+        std::fprintf(stderr, "serve: --socket PATH is required\n");
+        return kExitUsage;
+    }
+    serve::ServiceConfig config;
+    config.socketPath = opt.socket;
+    config.maxRequests = opt.maxRequests;
+    config.base = batch::CampaignConfig::fromEnv();
+    config.base.benches = splitCsvList(opt.benches);
+    if (!opt.cacheDir.empty())
+        config.base.cacheDir = opt.cacheDir;
+    if (opt.scale != 1.0)
+        config.base.scale = opt.scale;
+    config.sup = serve::SupervisorConfig::fromEnv();
+    config.sup.workers = opt.workers;
+    return serve::runService(config) == 0 ? kExitOk : kExitRuntime;
+}
+
+int
+runSubmit(const Options &opt)
+{
+    if (opt.socket.empty()) {
+        std::fprintf(stderr, "submit: --socket PATH is required\n");
+        return kExitUsage;
+    }
+    util::Json request = util::Json::object();
+    request.set("type", "campaign");
+    if (!opt.benches.empty()) {
+        util::Json aliases = util::Json::array();
+        for (const std::string &alias : splitCsvList(opt.benches))
+            aliases.push(alias);
+        request.set("benches", std::move(aliases));
+    }
+    // Only forward --workers when given: the server's own default
+    // governs otherwise.
+    if (opt.workersSet)
+        request.set("workers", opt.workers);
+
+    auto reply = serve::submit(opt.socket, request);
+    if (!reply.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     reply.error().message.c_str());
+        return kExitRuntime;
+    }
+    const util::Json *status = reply->find("status");
+    const std::string state =
+        status ? status->asString() : std::string("?");
+    if (state == "error") {
+        const util::Json *message = reply->find("message");
+        std::fprintf(stderr, "served campaign failed: %s\n",
+                     message ? message->asString().c_str()
+                             : "(no message)");
+        return kExitRuntime;
+    }
+
+    const util::Json *reportJson = reply->find("report");
+    if (!reportJson) {
+        std::fprintf(stderr, "submit: reply carries no report\n");
+        return kExitRuntime;
+    }
+    auto report = batch::CampaignReport::fromJson(*reportJson);
+    if (!report.ok()) {
+        std::fprintf(stderr, "submit: malformed report: %s\n",
+                     report.error().message.c_str());
+        return kExitRuntime;
+    }
+    printCampaignReport(*report);
+    if (opt.outSet) {
+        if (auto saved = report->save(opt.report); !saved.ok()) {
+            std::fprintf(stderr, "cannot write report '%s': %s\n",
+                         opt.report.c_str(),
+                         saved.error().message.c_str());
+            return kExitRuntime;
+        }
+        std::printf("report: %s\n", opt.report.c_str());
+    }
+    if (!opt.ledger.empty()) {
+        const util::Json *ledgerText = reply->find("ledger");
+        if (ledgerText && ledgerText->isString()) {
+            if (std::FILE *f =
+                    std::fopen(opt.ledger.c_str(), "w")) {
+                const std::string &text = ledgerText->asString();
+                std::fwrite(text.data(), 1, text.size(), f);
+                std::fclose(f);
+                std::printf("ledger: %s\n", opt.ledger.c_str());
+            } else {
+                std::fprintf(stderr, "cannot write ledger '%s'\n",
+                             opt.ledger.c_str());
+            }
+        }
+    }
+    return state == "degraded" ? kExitDegraded : kExitOk;
 }
 
 int
@@ -1027,6 +1209,10 @@ main(int argc, char **argv)
         return runResume(opt);
     if (opt.command == "campaign")
         return runCampaign(opt);
+    if (opt.command == "serve")
+        return runServe(opt);
+    if (opt.command == "submit")
+        return runSubmit(opt);
     if (opt.command == "perf")
         return runPerf(opt);
     if (opt.command == "ledger")
