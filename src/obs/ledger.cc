@@ -118,6 +118,32 @@ constexpr FieldSpec kShardQuarantineFields[] = {
     {"reason", FieldKind::Str, true},
 };
 
+constexpr FieldSpec kRequestAdmitFields[] = {
+    {"request", FieldKind::Num, true},
+    {"tenant", FieldKind::Str, true},
+    {"policy", FieldKind::Str, true},
+    {"benches", FieldKind::StrArr, false},
+    {"queue_depth", FieldKind::Num, false},
+};
+
+constexpr FieldSpec kSchedDispatchFields[] = {
+    {"shard", FieldKind::Num, true},
+    {"request", FieldKind::Num, true},
+    {"worker", FieldKind::Num, true},
+    {"bench", FieldKind::Str, true},
+    {"policy", FieldKind::Str, false},
+    {"remaining", FieldKind::Num, false},
+};
+
+constexpr FieldSpec kRequestDoneFields[] = {
+    {"request", FieldKind::Num, true},
+    {"status", FieldKind::Str, true},
+    {"queue_wait_seconds", FieldKind::Num, true},
+    {"service_seconds", FieldKind::Num, true},
+    {"shards", FieldKind::Num, false},
+    {"quarantined", FieldKind::Num, false},
+};
+
 constexpr EventSpec kEventSpecs[] = {
     {"run_start", kRunStartFields, std::size(kRunStartFields)},
     {"cache", kCacheFields, std::size(kCacheFields)},
@@ -132,6 +158,12 @@ constexpr EventSpec kEventSpecs[] = {
     {"shard_retry", kShardRetryFields, std::size(kShardRetryFields)},
     {"shard_quarantine", kShardQuarantineFields,
      std::size(kShardQuarantineFields)},
+    {"request_admit", kRequestAdmitFields,
+     std::size(kRequestAdmitFields)},
+    {"sched_dispatch", kSchedDispatchFields,
+     std::size(kSchedDispatchFields)},
+    {"request_done", kRequestDoneFields,
+     std::size(kRequestDoneFields)},
 };
 
 const EventSpec *

@@ -33,6 +33,16 @@
  *   shard_quarantine  a shard abandoned after exhausting its retry
  *                     cap; the campaign completes degraded
  *
+ * Scheduled (multi-request) campaigns add three more, recorded into
+ * the owning request's ledger by the sched::Scheduler:
+ *
+ *   request_admit     a request entered the run queue (request id,
+ *                     tenant, active policy, bench list, queue depth)
+ *   sched_dispatch    one scheduling decision: shard N of request R
+ *                     leased to fleet worker W under the policy
+ *   request_done      the request finalized: ok/degraded, queue wait
+ *                     and service time, shard/quarantine counts
+ *
  * The schema is *strict*: validate() fails on an unknown event type,
  * a missing required field, or any top-level field the schema does
  * not name — CI round-trips every ledger through the util/json parser

@@ -124,25 +124,40 @@ writeTimelineChrome(std::ostream &os,
 {
     double origin = 0.0;
     bool haveOrigin = false;
-    std::size_t tracks = workers;
+    // Worker lanes are labelled densely (idle workers show as empty
+    // lanes); anything above — request lanes at kRequestTrackBase —
+    // is labelled sparsely, only where a span actually landed.
+    std::vector<std::uint32_t> sparse;
     for (const HostSpan &s : spans) {
         if (!haveOrigin || s.begin < origin) {
             origin = s.begin;
             haveOrigin = true;
         }
-        tracks = std::max<std::size_t>(tracks, s.track + 1);
+        if (s.track >= workers)
+            sparse.push_back(s.track);
     }
+    std::sort(sparse.begin(), sparse.end());
+    sparse.erase(std::unique(sparse.begin(), sparse.end()),
+                 sparse.end());
 
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
-    for (std::size_t t = 0; t < tracks; ++t) {
+    auto label = [&](std::uint32_t t) {
         if (!first)
             os << ',';
         first = false;
         os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
-           << "\"tid\":" << t << ",\"args\":{\"name\":\"worker " << t
-           << (t == 0 ? " (caller)" : "") << "\"}}";
-    }
+           << "\"tid\":" << t << ",\"args\":{\"name\":\"";
+        if (t >= kRequestTrackBase)
+            os << "request " << (t - kRequestTrackBase);
+        else
+            os << "worker " << t << (t == 0 ? " (caller)" : "");
+        os << "\"}}";
+    };
+    for (std::size_t t = 0; t < workers; ++t)
+        label(static_cast<std::uint32_t>(t));
+    for (std::uint32_t t : sparse)
+        label(t);
     for (const HostSpan &s : spans) {
         const double ts = (s.begin - origin) * 1e6;
         const double dur = (s.end - s.begin) * 1e6;

@@ -50,6 +50,17 @@ struct HostSpan
     std::uint64_t arg;   // payload: item index / frame / bytes
 };
 
+/**
+ * Track ids at or above this base are per-request lanes ("request N"
+ * where N = track − base) instead of worker lanes — the scheduler
+ * records each request's queue-wait and service spans there, so a
+ * concurrent serve run opens in Perfetto with one lane per request
+ * above the worker lanes. The export labels these lanes sparsely:
+ * only tracks that recorded a span get a name, so request ids stay
+ * usable as track offsets without materializing 65k empty lanes.
+ */
+inline constexpr std::uint32_t kRequestTrackBase = 1u << 16;
+
 /** True when MEGSIM_TIMELINE (or setTimelineEnabled) turned host
  *  timelines on for this process. Read on every record(); written
  *  only during single-threaded setup. */

@@ -18,6 +18,7 @@ errcName(Errc code)
       case Errc::FrameTimeout: return "frame-timeout";
       case Errc::Exhausted: return "exhausted";
       case Errc::Injected: return "injected";
+      case Errc::Busy: return "busy";
     }
     return "?";
 }

@@ -33,6 +33,7 @@ enum class Errc {
     FrameTimeout,   // a frame blew its watchdog budget
     Exhausted,      // every fallback in a cluster failed
     Injected,       // failure produced by the fault-injection layer
+    Busy,           // a bounded resource is at capacity (backpressure)
 };
 
 const char *errcName(Errc code);

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Multi-tenant campaign scheduler: a shard-granular run queue over one
+ * shared serve::Fleet.
+ *
+ * The Scheduler sits between the request service and the worker fleet.
+ * It admits up to maxInflight requests at once, decomposes each into
+ * benchmark×frame-range shards exactly as the supervised runner does,
+ * and leases fleet workers one shard at a time under a pluggable
+ * policy (sched/policy.hh) — so shards from *different* requests
+ * interleave on the same worker processes instead of one campaign
+ * monopolizing the fleet while the queue idles.
+ *
+ * Isolation is per request, end to end: every request carries its own
+ * optional StatsRegistry (applied as a ProcessRegistryOverride around
+ * that request's load/analysis work) and its own optional RunLedger
+ * (admission, dispatch decisions, retries, quarantines, completion all
+ * land there, and fleet spawn/exit events are routed to the affected
+ * request). A poison shard quarantines only its own request — sibling
+ * shards of the same bench are cancelled, the request completes
+ * degraded, and every other request is untouched. Because frames
+ * simulate cold, shard rows reassemble in frame order, and analysis
+ * runs through batch::analyzeBenchmark, each request's report is
+ * bit-identical per bench to a solo run at any worker count and any
+ * interleaving.
+ *
+ * Admission is bounded: admit() beyond maxInflight returns Errc::Busy
+ * ("queue full") so callers can push backpressure to clients instead
+ * of buffering unboundedly. Observability: sched.* counters in the
+ * ambient stats registry, request_admit / sched_dispatch /
+ * request_done ledger events, and per-request "request.wait" /
+ * "request.service" spans on the kRequestTrackBase+id timeline lanes.
+ */
+
+#ifndef MSIM_SCHED_SCHEDULER_HH
+#define MSIM_SCHED_SCHEDULER_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "batch/campaign.hh"
+#include "obs/ledger.hh"
+#include "obs/stats.hh"
+#include "sched/policy.hh"
+#include "serve/fleet.hh"
+#include "serve/supervisor.hh"
+
+namespace msim::sched
+{
+
+struct SchedulerConfig
+{
+    Policy policy = Policy::FairShare;
+    /** Bounded run queue: admit() past this returns Errc::Busy. */
+    std::size_t maxInflight = 8;
+    /** Sharding/retry/backoff knobs, shared with the supervisor. */
+    serve::SupervisorConfig shard;
+
+    /**
+     * Defaults plus MEGSIM_SCHED_POLICY / MEGSIM_SCHED_MAX_INFLIGHT
+     * (and the shard knobs via SupervisorConfig::fromEnv()).
+     */
+    static SchedulerConfig fromEnv();
+};
+
+/** One campaign request as submitted to the scheduler. */
+struct RequestSpec
+{
+    /** Benchmark aliases; empty = the full Table II suite. */
+    std::vector<std::string> benches;
+    /** Fair-share accounting bucket. */
+    std::string tenant = "default";
+    /** Fair-share weight: a weight-2 tenant is charged half the
+     *  virtual time per dispatch, so it gets twice the share. */
+    double weight = 1.0;
+    /** Optional per-request ledger: receives this request's admit /
+     *  dispatch / retry / quarantine / done events. */
+    obs::RunLedger *ledger = nullptr;
+    /** Optional per-request stats registry, applied as an override
+     *  around this request's load and analysis work; nullptr uses the
+     *  ambient registry (solo in-process behaviour). */
+    obs::StatsRegistry *registry = nullptr;
+};
+
+/** A finished request: its report plus the scheduler's timings. */
+struct RequestResult
+{
+    std::size_t id = 0;
+    std::string tenant;
+    /** "ok" or "degraded" (quarantined shards). */
+    std::string status;
+    /** Admission to first shard dispatch (or to analysis start when
+     *  every bench was cache-fresh and nothing dispatched). */
+    double queueWaitSeconds = 0.0;
+    /** First dispatch (or analysis start) to completion. */
+    double serviceSeconds = 0.0;
+    batch::CampaignReport report;
+};
+
+class Scheduler
+{
+  public:
+    /**
+     * @p base supplies the shared campaign settings (cache dir,
+     * scale, frame limit, analysis config); per-request benches come
+     * from each RequestSpec. @p fleet outlives the scheduler.
+     */
+    Scheduler(batch::CampaignConfig base, SchedulerConfig config,
+              serve::Fleet &fleet);
+    ~Scheduler();
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Admit one request: load its scenes, probe its caches, shard
+     * whatever needs (re)generation, and enter it into the run queue.
+     * Returns the request id, Errc::Busy when the queue is full, or
+     * the first load error (unknown alias).
+     */
+    resilience::Expected<std::size_t> admit(const RequestSpec &spec);
+
+    /**
+     * One scheduling round: top up the fleet, dispatch eligible
+     * shards under the policy, wait up to @p timeoutMs for replies,
+     * recover failures, and finalize every request whose shards are
+     * all terminal. Returns the requests that completed this round.
+     */
+    std::vector<RequestResult> step(int timeoutMs);
+
+    /** Admitted requests not yet finalized. */
+    std::size_t inflight() const { return active_.size(); }
+    bool busy() const { return !active_.empty(); }
+
+    /** step(50) until the queue drains; all results in finish order. */
+    std::vector<RequestResult> runToCompletion();
+
+    const SchedulerConfig &config() const { return config_; }
+
+  private:
+    struct Item;
+    struct Shard;
+    struct Request;
+
+    void dispatchEligible(double now);
+    void routeFleetEvents();
+    void handleEvent(const serve::Fleet::Event &event);
+    void failShard(Request &request, Shard &shard,
+                   const std::string &reason);
+    RequestResult finalize(std::unique_ptr<Request> request);
+    double shardDeadlineSeconds(const Shard &shard) const;
+
+    batch::CampaignConfig base_;
+    SchedulerConfig config_;
+    serve::Fleet &fleet_;
+    obs::StatsRegistry &ambient_;
+    std::vector<std::unique_ptr<Request>> active_;
+    /** Global shard id → (owning request, index into its shards). */
+    std::map<std::size_t, std::pair<Request *, std::size_t>> owner_;
+    /** Tenant → consumed virtual time (fair-share state). */
+    std::map<std::string, double> tenantVirtual_;
+    std::size_t nextRequestId_ = 0;
+    std::size_t nextShardId_ = 0;
+};
+
+} // namespace msim::sched
+
+#endif // MSIM_SCHED_SCHEDULER_HH

@@ -18,6 +18,16 @@
  * and partial transfers, and a closed peer surfaces as Errc::Io
  * (SIGPIPE must be ignored by the caller, which the supervisor and
  * service do once at startup).
+ *
+ * Oversized replies spill to disk instead of the pipe: when a
+ * SpillConfig threshold is set (MEGSIM_SHARD_REPLY_SPILL bytes), a
+ * payload above it is written to a single-use spill file and the
+ * frame on the wire is a small `spill_ref` carrying the file's path,
+ * size and FNV-1a checksum. readMessage() follows the reference
+ * transparently, verifies the checksum and deletes the file; a
+ * missing file surfaces as Truncated (crash recovery) and a checksum
+ * mismatch as BadChecksum (corrupt-reply recovery), so spilled and
+ * piped replies take exactly the same failure paths.
  */
 
 #ifndef MSIM_SERVE_PROTOCOL_HH
@@ -58,6 +68,34 @@ resilience::Expected<std::string> readFrame(int fd, double timeoutMs);
 /** writeFrame() of @p message serialized compactly. */
 resilience::Expected<void> writeMessage(int fd,
                                         const util::Json &message);
+
+/**
+ * Reply-spill policy: payloads larger than thresholdBytes bypass the
+ * pipe through a checksummed single-use file under `dir`. The zero
+ * default never spills, so request frames and small replies are
+ * byte-identical with or without a policy in force.
+ */
+struct SpillConfig
+{
+    std::uint64_t thresholdBytes = 0; // 0 = never spill
+    std::string dir;                  // where spill files land
+
+    /**
+     * MEGSIM_SHARD_REPLY_SPILL (bytes; unset/0 = off) and
+     * MEGSIM_SHARD_SPILL_DIR (default: the system temp directory).
+     */
+    static SpillConfig fromEnv();
+};
+
+/**
+ * writeMessage() under a spill policy: a payload above the threshold
+ * is written to a spill file and only a `spill_ref` frame crosses the
+ * pipe. If the spill write itself fails the payload falls back to the
+ * pipe — spilling is an optimization, never a new failure mode.
+ */
+resilience::Expected<void> writeMessage(int fd,
+                                        const util::Json &message,
+                                        const SpillConfig &spill);
 
 /** readFrame() + JSON parse (a parse failure is BadFormat). */
 resilience::Expected<util::Json> readMessage(int fd,

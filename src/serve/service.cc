@@ -1,15 +1,22 @@
 #include "serve/service.hh"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <map>
+#include <memory>
 
 #include "exec/pool.hh"
 #include "obs/stats.hh"
+#include "sched/scheduler.hh"
+#include "serve/fleet.hh"
 #include "serve/protocol.hh"
 #include "sim/logging.hh"
 
@@ -49,77 +56,39 @@ bindListen(const std::string &path)
         return errorf(Errc::Io, "serve: bind '%s' failed: %s",
                       path.c_str(), std::strerror(errno));
     }
-    // The backlog IS the request queue: clients block in connect()
-    // until the server accepts them, strictly in arrival order.
+    // The backlog holds clients between accept rounds; admission
+    // control (not the backlog) bounds the actual run queue.
     if (::listen(fd, 16) != 0) {
         ::close(fd);
         return errorf(Errc::Io, "serve: listen failed: %s",
                       std::strerror(errno));
     }
+    // Nonblocking, so draining the backlog never stalls the
+    // scheduler loop.
+    ::fcntl(fd, F_SETFL,
+            ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
     return fd;
 }
 
-/** Run one request against the shared cache store. */
-Json
-serveRequest(const ServiceConfig &config, const Json &request)
+/** Send a terse error/refusal reply; best-effort, then close. */
+void
+replyAndClose(int fd, const char *status, const std::string &message)
 {
-    batch::CampaignConfig run = config.base;
-    if (const Json *benches = request.find("benches");
-        benches && benches->isArray()) {
-        run.benches.clear();
-        for (const Json &alias : benches->items())
-            run.benches.push_back(alias.asString());
-    }
-    SupervisorConfig sup = config.sup;
-    if (const Json *workers = request.find("workers");
-        workers && workers->isNumber())
-        sup.workers =
-            static_cast<std::size_t>(workers->asNumber());
-
-    // Per-request isolation: counters and ledger events land in this
-    // request's registry/ledger, never a neighbour's. The cache store
-    // (run.cacheDir) stays shared on purpose — a bench regenerated
-    // for one request is a cache hit for the next.
-    obs::StatsRegistry requestRegistry;
-    obs::ProcessRegistryOverride isolate(requestRegistry);
-    obs::RunLedger ledger;
-    {
-        Json fields = Json::object();
-        fields.set("tool", "serve");
-        fields.set("threads", exec::Pool::global().workers());
-        fields.set("workers", sup.workers);
-        ledger.event("run_start", std::move(fields));
-    }
-
-    Expected<batch::CampaignReport> result =
-        sup.workers > 0
-            ? Supervisor(run, sup, &ledger).run()
-            : batch::Campaign(run).run();
-
     Json reply = Json::object();
     reply.set("type", "campaign_result");
-    if (!result.ok()) {
-        Json fields = Json::object();
-        fields.set("wall_seconds", 0.0);
-        fields.set("status", "failed");
-        ledger.event("run_end", std::move(fields));
-        reply.set("status", "error");
-        reply.set("message", result.error().message);
-        reply.set("ledger", ledger.serialize());
-        return reply;
-    }
-    const char *status = result->degraded ? "degraded" : "ok";
-    {
-        Json fields = Json::object();
-        fields.set("wall_seconds", result->wallSeconds);
-        fields.set("status", status);
-        ledger.event("run_end", std::move(fields));
-    }
     reply.set("status", status);
-    reply.set("report", result->toJson());
-    reply.set("ledger", ledger.serialize());
-    return reply;
+    reply.set("message", message);
+    (void)writeMessage(fd, reply);
+    ::close(fd);
 }
+
+/** One admitted request's client connection and isolation state. */
+struct PendingRequest
+{
+    int fd = -1;
+    std::unique_ptr<obs::StatsRegistry> registry;
+    std::unique_ptr<obs::RunLedger> ledger;
+};
 
 } // namespace
 
@@ -132,42 +101,166 @@ runService(const ServiceConfig &config)
         sim::warn("%s", listenFd.error().message.c_str());
         return 1;
     }
-    sim::inform("serve: listening on %s (workers %zu)",
-              config.socketPath.c_str(), config.sup.workers);
 
+    const std::size_t workers =
+        std::max<std::size_t>(config.sup.workers, 1);
+    Fleet fleet(config.base, workers);
+    sched::SchedulerConfig schedConfig;
+    schedConfig.policy = config.policy;
+    schedConfig.maxInflight =
+        std::max<std::size_t>(config.maxInflight, 1);
+    schedConfig.shard = config.sup;
+    sched::Scheduler scheduler(config.base, schedConfig, fleet);
+
+    sim::inform("serve: listening on %s (workers %zu, policy %s, "
+                "max inflight %zu)",
+                config.socketPath.c_str(), workers,
+                sched::policyName(config.policy),
+                schedConfig.maxInflight);
+
+    std::map<std::size_t, PendingRequest> pending;
+    std::size_t admitted = 0;
     std::size_t served = 0;
-    while (config.maxRequests == 0 || served < config.maxRequests) {
-        const int client = ::accept(*listenFd, nullptr, nullptr);
-        if (client < 0) {
-            if (errno == EINTR)
-                continue;
-            sim::warn("serve: accept failed: %s",
-                      std::strerror(errno));
-            break;
-        }
+
+    auto draining = [&]() {
+        return config.maxRequests > 0 &&
+               admitted >= config.maxRequests;
+    };
+
+    auto handleClient = [&](int client) {
         Expected<Json> request =
             readMessage(client, kRequestTimeoutMs);
         if (!request.ok()) {
             sim::warn("serve: dropping request: %s",
                       request.error().message.c_str());
+            replyAndClose(client, "error",
+                          request.error().message);
+            return;
+        }
+        if (draining()) {
+            // The admission budget is spent; backlogged clients get
+            // a clean refusal instead of a hung socket.
+            replyAndClose(client, "error", "service shutting down");
+            return;
+        }
+
+        PendingRequest p;
+        p.registry = std::make_unique<obs::StatsRegistry>();
+        p.ledger = std::make_unique<obs::RunLedger>();
+        {
+            Json fields = Json::object();
+            fields.set("tool", "serve");
+            fields.set("threads", exec::Pool::global().workers());
+            fields.set("workers", workers);
+            p.ledger->event("run_start", std::move(fields));
+        }
+
+        sched::RequestSpec spec;
+        if (const Json *benches = request->find("benches");
+            benches && benches->isArray())
+            for (const Json &alias : benches->items())
+                spec.benches.push_back(alias.asString());
+        else
+            spec.benches = config.base.benches;
+        if (const Json *tenant = request->find("tenant");
+            tenant && tenant->isString())
+            spec.tenant = tenant->asString();
+        if (const Json *weight = request->find("weight");
+            weight && weight->isNumber())
+            spec.weight = weight->asNumber();
+        spec.ledger = p.ledger.get();
+        spec.registry = p.registry.get();
+
+        Expected<std::size_t> id = scheduler.admit(spec);
+        if (!id.ok()) {
+            if (id.error().code == Errc::Busy) {
+                // Backpressure, not failure: the client retries.
+                replyAndClose(client, "rejected",
+                              id.error().message);
+                return;
+            }
+            ++admitted; // a served (if failed) request
+            Json fields = Json::object();
+            fields.set("wall_seconds", 0.0);
+            fields.set("status", "failed");
+            p.ledger->event("run_end", std::move(fields));
             Json reply = Json::object();
             reply.set("type", "campaign_result");
             reply.set("status", "error");
-            reply.set("message", request.error().message);
+            reply.set("message", id.error().message);
+            reply.set("ledger", p.ledger->serialize());
             (void)writeMessage(client, reply);
             ::close(client);
-            continue;
+            ++served;
+            sim::inform("serve: request %zu done (error)", served);
+            return;
         }
-        const Json reply = serveRequest(config, *request);
-        if (auto sent = writeMessage(client, reply); !sent.ok())
-            sim::warn("serve: reply failed: %s",
-                      sent.error().message.c_str());
-        ::close(client);
-        ++served;
-        const Json *status = reply.find("status");
-        sim::inform("serve: request %zu done (%s)", served,
-                  status ? status->asString().c_str() : "?");
+        ++admitted;
+        p.fd = client;
+        pending.emplace(*id, std::move(p));
+    };
+
+    while (!(draining() && pending.empty() && !scheduler.busy())) {
+        // Admit whatever the backlog holds, then run one scheduling
+        // round. When idle, park in poll() on the listen socket.
+        struct pollfd pfd = {*listenFd, POLLIN, 0};
+        const int timeout = scheduler.busy() ? 0 : 200;
+        const int ready = ::poll(&pfd, 1, timeout);
+        if (ready < 0 && errno != EINTR) {
+            sim::warn("serve: poll failed: %s",
+                      std::strerror(errno));
+            break;
+        }
+        if (ready > 0 && (pfd.revents & POLLIN))
+            for (;;) {
+                const int client =
+                    ::accept(*listenFd, nullptr, nullptr);
+                if (client < 0)
+                    break;
+                handleClient(client);
+            }
+
+        for (sched::RequestResult &result : scheduler.step(50)) {
+            auto it = pending.find(result.id);
+            if (it == pending.end())
+                continue;
+            PendingRequest &p = it->second;
+            {
+                Json fields = Json::object();
+                fields.set("wall_seconds",
+                           result.report.wallSeconds);
+                fields.set("status", result.status);
+                p.ledger->event("run_end", std::move(fields));
+            }
+            Json reply = Json::object();
+            reply.set("type", "campaign_result");
+            reply.set("status", result.status);
+            reply.set("report", result.report.toJson());
+            reply.set("ledger", p.ledger->serialize());
+            if (auto sent = writeMessage(p.fd, reply); !sent.ok())
+                sim::warn("serve: reply failed: %s",
+                          sent.error().message.c_str());
+            ::close(p.fd);
+            pending.erase(it);
+            ++served;
+            sim::inform("serve: request %zu done (%s)", served,
+                        result.status.c_str());
+        }
     }
+
+    // Final sweep: every client still in the backlog gets a clean
+    // "shutting down" refusal before the socket disappears.
+    for (;;) {
+        const int client = ::accept(*listenFd, nullptr, nullptr);
+        if (client < 0)
+            break;
+        Expected<Json> request = readMessage(client, 1000.0);
+        if (request.ok())
+            replyAndClose(client, "error", "service shutting down");
+        else
+            ::close(client);
+    }
+    fleet.shutdown();
     ::close(*listenFd);
     ::unlink(config.socketPath.c_str());
     return 0;

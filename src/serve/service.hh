@@ -1,19 +1,28 @@
 /**
  * @file
- * Campaign request service: a unix-domain socket accepting queued
+ * Campaign request service: a unix-domain socket admitting queued
  * campaign requests (`megsim-cli serve --socket` / `megsim-cli
  * submit`). Requests are one JSON frame each —
  *
- *   {"type": "campaign", "benches": ["hcr", ...], "workers": N}
+ *   {"type": "campaign", "benches": ["hcr", ...],
+ *    "tenant": "team-a", "weight": 2.0}
  *
- * — and are served strictly in arrival order against ONE shared
- * cache store (the listen backlog is the queue). Each request runs
- * with its own stats registry (obs::ProcessRegistryOverride) and its
- * own megsim-run-v1 ledger, so queued campaigns cannot bleed
- * counters or events into each other while still sharing every
- * verified ground-truth cache. The reply frame carries the full
- * report, the serialized ledger, and a status of "ok", "degraded"
- * (quarantined shards) or "error".
+ * — and are admitted into a sched::Scheduler over ONE shared worker
+ * fleet and ONE shared cache store, up to maxInflight at a time, so
+ * shards from different requests interleave on the same workers under
+ * the configured policy instead of serving strictly in arrival order.
+ * Each request runs with its own stats registry
+ * (obs::ProcessRegistryOverride) and its own megsim-run-v1 ledger, so
+ * concurrent campaigns cannot bleed counters or events into each
+ * other while still sharing every verified ground-truth cache. The
+ * reply frame carries the full report, the serialized ledger, and a
+ * status of "ok", "degraded" (quarantined shards) or "error".
+ *
+ * Backpressure: a request arriving with maxInflight requests already
+ * in flight is refused with status "rejected" (submit exits with the
+ * distinct queue-full code) instead of queueing unboundedly. A
+ * request arriving while the service drains after --max-requests gets
+ * a clean "service shutting down" error reply — never a hung socket.
  */
 
 #ifndef MSIM_SERVE_SERVICE_HH
@@ -23,6 +32,7 @@
 #include <string>
 
 #include "batch/campaign.hh"
+#include "sched/policy.hh"
 #include "serve/supervisor.hh"
 #include "util/json.hh"
 
@@ -32,18 +42,23 @@ namespace msim::serve
 struct ServiceConfig
 {
     std::string socketPath;
-    /** Stop after serving this many requests; 0 = serve forever. */
+    /** Stop after admitting this many requests; 0 = serve forever. */
     std::size_t maxRequests = 0;
     /** Base campaign settings; a request's fields override these. */
     batch::CampaignConfig base;
-    /** Supervision settings; sup.workers 0 = in-process campaigns. */
+    /** Supervision settings; sup.workers sizes the shared fleet
+     *  (0 is clamped to 1 — the fleet is always supervised). */
     SupervisorConfig sup;
+    /** How the scheduler picks among in-flight requests. */
+    sched::Policy policy = sched::Policy::FairShare;
+    /** Admission cap: further requests are rejected (queue full). */
+    std::size_t maxInflight = 8;
 };
 
 /**
  * Bind, listen and serve until maxRequests (or forever). Returns 0 on
  * a clean shutdown, 1 on a socket-level failure. The socket file is
- * unlinked on exit.
+ * unlinked on exit, after every backlogged client has been answered.
  */
 int runService(const ServiceConfig &config);
 

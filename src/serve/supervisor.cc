@@ -1,26 +1,13 @@
 #include "serve/supervisor.hh"
 
-#include <poll.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <csignal>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
+#include <utility>
 
-#include "core/megsim.hh"
-#include "exec/pool.hh"
 #include "obs/attrib.hh"
 #include "obs/profile.hh"
-#include "obs/stats.hh"
-#include "resilience/watchdog.hh"
-#include "serve/protocol.hh"
-#include "serve/worker.hh"
-#include "sim/logging.hh"
-#include "sim/random.hh"
+#include "sched/scheduler.hh"
+#include "serve/fleet.hh"
 #include "workloads/workloads.hh"
 
 namespace msim::serve
@@ -29,129 +16,6 @@ namespace msim::serve
 using resilience::Errc;
 using resilience::errorf;
 using resilience::Expected;
-using util::Json;
-
-namespace
-{
-
-double
-counterValue(const char *name)
-{
-    const obs::Stat *stat = obs::processRegistry().find(name);
-    return stat ? stat->value() : 0.0;
-}
-
-obs::Scalar &
-serveCounter(const char *name, const char *desc)
-{
-    return obs::processRegistry().scalar(std::string("serve.") + name,
-                                         desc);
-}
-
-std::string
-waitStatusString(int status)
-{
-    char buf[32];
-    if (WIFEXITED(status))
-        std::snprintf(buf, sizeof(buf), "exit %d",
-                      WEXITSTATUS(status));
-    else if (WIFSIGNALED(status))
-        std::snprintf(buf, sizeof(buf), "signal %d",
-                      WTERMSIG(status));
-    else
-        std::snprintf(buf, sizeof(buf), "status %d", status);
-    return buf;
-}
-
-/** Parse one [[...], ...] rows array back into vectors of doubles. */
-Expected<std::vector<std::vector<double>>>
-rowsFromJson(const Json *rows, const char *what)
-{
-    if (!rows || !rows->isArray())
-        return errorf(Errc::BadFormat,
-                      "shard reply: missing '%s' rows", what);
-    std::vector<std::vector<double>> out;
-    out.reserve(rows->size());
-    for (const Json &row : rows->items()) {
-        if (!row.isArray())
-            return errorf(Errc::BadFormat,
-                          "shard reply: '%s' row is not an array",
-                          what);
-        std::vector<double> values;
-        values.reserve(row.size());
-        for (const Json &v : row.items()) {
-            if (!v.isNumber())
-                return errorf(
-                    Errc::BadFormat,
-                    "shard reply: non-numeric '%s' cell", what);
-            values.push_back(v.asNumber());
-        }
-        out.push_back(std::move(values));
-    }
-    return out;
-}
-
-} // namespace
-
-SupervisorConfig
-SupervisorConfig::fromEnv()
-{
-    SupervisorConfig config;
-    if (const char *env = std::getenv("MEGSIM_SHARD_FRAMES"))
-        if (std::atoll(env) > 0)
-            config.shardFrames =
-                static_cast<std::size_t>(std::atoll(env));
-    if (const char *env = std::getenv("MEGSIM_SHARD_RETRIES"))
-        if (std::atoll(env) >= 0)
-            config.retryCap =
-                static_cast<std::size_t>(std::atoll(env));
-    if (const char *env = std::getenv("MEGSIM_SHARD_DEADLINE_MS"))
-        if (std::atoll(env) > 0)
-            config.shardDeadlineMs =
-                static_cast<std::size_t>(std::atoll(env));
-    return config;
-}
-
-/** One benchmark moving through the supervised campaign. */
-struct Supervisor::Item
-{
-    std::string alias;
-    gfx::SceneTrace scene;
-    std::unique_ptr<megsim::BenchmarkData> data;
-    std::string cacheStatus = "built";
-    std::size_t resumedFrames = 0;
-    bool needsRegen = false;
-    bool quarantined = false;
-};
-
-struct Supervisor::Shard
-{
-    enum class State { Pending, Running, Done, Quarantined, Cancelled };
-
-    std::size_t id = 0;
-    std::size_t item = 0; // index into items_
-    std::size_t beginFrame = 0;
-    std::size_t endFrame = 0;
-    std::size_t attempts = 0; // failures so far; also the next
-                              // attempt number sent to workers
-    double eligibleAt = 0.0;  // earliest re-dispatch instant
-    State state = State::Pending;
-    std::size_t resumed = 0;
-    std::string lastReason;
-    std::vector<std::vector<double>> statsRows;
-    std::vector<std::vector<double>> activityRows;
-};
-
-struct Supervisor::Worker
-{
-    pid_t pid = -1;
-    int reqFd = -1; // parent writes requests here
-    int repFd = -1; // parent reads replies here
-    bool alive = false;
-    bool busy = false;
-    std::size_t shard = 0;
-    double deadline = 0.0;
-};
 
 Supervisor::Supervisor(batch::CampaignConfig config,
                        SupervisorConfig sup, obs::RunLedger *ledger)
@@ -165,459 +29,43 @@ Supervisor::Supervisor(batch::CampaignConfig config,
 
 Supervisor::~Supervisor() = default;
 
-void
-Supervisor::recordEvent(const char *type, Json fields)
-{
-    if (ledger_)
-        ledger_->event(type, std::move(fields));
-}
-
-double
-Supervisor::shardDeadlineSeconds(const Shard &shard) const
-{
-    if (sup_.shardDeadlineMs > 0)
-        return static_cast<double>(sup_.shardDeadlineMs) / 1000.0;
-    const resilience::WatchdogConfig watchdog =
-        resilience::WatchdogConfig::fromEnv();
-    if (watchdog.wallBudgetSeconds > 0.0) {
-        // Per-frame budget times the shard size, with slack for the
-        // worker's one-time scene composition.
-        const double frames = static_cast<double>(
-            shard.endFrame - shard.beginFrame);
-        return watchdog.wallBudgetSeconds * frames * 4.0 + 10.0;
-    }
-    return 120.0;
-}
-
-void
-Supervisor::spawnWorker(std::size_t slot)
-{
-    int req[2];
-    int rep[2];
-    if (::pipe(req) != 0 || ::pipe(rep) != 0)
-        sim::fatal("serve: cannot create worker pipes: %s",
-                   std::strerror(errno));
-    const pid_t pid = ::fork();
-    if (pid < 0)
-        sim::fatal("serve: fork failed: %s", std::strerror(errno));
-    if (pid == 0) {
-        // Child: drop every parent-side descriptor (including the
-        // pipes of other workers inherited across the fork — a held
-        // write end would mask their EOF-based shutdown), then serve
-        // shards until the request pipe closes. _exit keeps parent
-        // atexit handlers and sanitizer leak reports out of the
-        // child.
-        ::close(req[1]);
-        ::close(rep[0]);
-        for (const Worker &other : workers_) {
-            if (other.reqFd >= 0)
-                ::close(other.reqFd);
-            if (other.repFd >= 0)
-                ::close(other.repFd);
-        }
-        ::_exit(workerMain(req[0], rep[1], config_));
-    }
-    ::close(req[0]);
-    ::close(rep[1]);
-    Worker &worker = workers_[slot];
-    worker.pid = pid;
-    worker.reqFd = req[1];
-    worker.repFd = rep[0];
-    worker.alive = true;
-    worker.busy = false;
-    ++serveCounter("workers_spawned", "worker processes forked");
-    Json fields = Json::object();
-    fields.set("worker", slot);
-    fields.set("pid", static_cast<std::size_t>(pid));
-    recordEvent("worker_spawn", std::move(fields));
-}
-
-void
-Supervisor::reapWorker(std::size_t slot, const char *reason)
-{
-    Worker &worker = workers_[slot];
-    if (!worker.alive)
-        return;
-    ::close(worker.reqFd);
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
-    ::close(worker.repFd);
-    const std::string statusText = waitStatusString(status);
-    sim::warn("serve: worker %zu (pid %d) left: %s (%s)", slot,
-              static_cast<int>(worker.pid), statusText.c_str(),
-              reason);
-    ++serveCounter("worker_exits", "worker processes reaped");
-    Json fields = Json::object();
-    fields.set("worker", slot);
-    fields.set("pid", static_cast<std::size_t>(worker.pid));
-    fields.set("status", statusText);
-    fields.set("reason", reason);
-    if (worker.busy)
-        fields.set("shard", worker.shard);
-    recordEvent("worker_exit", std::move(fields));
-    worker.alive = false;
-    worker.busy = false;
-    worker.reqFd = -1;
-    worker.repFd = -1;
-}
-
-void
-Supervisor::failShard(Shard &shard, const std::string &reason)
-{
-    shard.state = Shard::State::Pending;
-    shard.lastReason = reason;
-    ++shard.attempts;
-    const std::string &alias = items_[shard.item]->alias;
-    if (shard.attempts > sup_.retryCap) {
-        shard.state = Shard::State::Quarantined;
-        items_[shard.item]->quarantined = true;
-        // Abandon the bench's remaining work — without this shard it
-        // can never produce a result row.
-        for (Shard &other : shards_)
-            if (other.item == shard.item &&
-                other.state == Shard::State::Pending)
-                other.state = Shard::State::Cancelled;
-        sim::warn("serve: quarantining shard %zu (%s [%zu, %zu)) "
-                  "after %zu attempts: %s",
-                  shard.id, alias.c_str(), shard.beginFrame,
-                  shard.endFrame, shard.attempts, reason.c_str());
-        ++serveCounter("shards_quarantined",
-                       "shards abandoned after the retry cap");
-        Json fields = Json::object();
-        fields.set("shard", shard.id);
-        fields.set("bench", alias);
-        fields.set("attempts", shard.attempts);
-        fields.set("reason", reason);
-        recordEvent("shard_quarantine", std::move(fields));
-        return;
-    }
-    // Exponential backoff with deterministic jitter: the schedule is
-    // a pure function of (seed, shard, attempt), so recovery timing
-    // is reproducible under MEGSIM_FAULTS.
-    std::size_t backoffMs = sup_.backoffBaseMs
-                            << std::min<std::size_t>(
-                                   shard.attempts - 1, 16);
-    backoffMs = std::min(backoffMs, sup_.backoffCapMs);
-    if (sup_.backoffBaseMs > 0)
-        backoffMs += sim::hashMix(sup_.seed, shard.id,
-                                  shard.attempts) %
-                     sup_.backoffBaseMs;
-    shard.eligibleAt =
-        obs::wallSeconds() + static_cast<double>(backoffMs) / 1000.0;
-    ++serveCounter("shard_retries", "shard attempts rescheduled");
-    Json fields = Json::object();
-    fields.set("shard", shard.id);
-    fields.set("bench", alias);
-    fields.set("attempt", shard.attempts);
-    fields.set("reason", reason);
-    fields.set("backoff_ms", backoffMs);
-    recordEvent("shard_retry", std::move(fields));
-}
-
 Expected<batch::CampaignReport>
 Supervisor::run()
 {
-    const double t0 = obs::wallSeconds();
     std::signal(SIGPIPE, SIG_IGN);
-    exec::Pool &pool = exec::Pool::global();
-    const double busy0 = counterValue("exec.pool.busy_seconds");
-    const double job0 = counterValue("exec.pool.job_seconds");
     obs::AttribRoot attribRoot;
     obs::PhaseProfiler::Scoped scope(obs::PhaseProfiler::global(),
                                      "campaign-serve");
 
-    // 1. Load every scene up front, exactly like batch::Campaign.
-    items_.clear();
-    {
-        obs::AttribScope loadScope(obs::HostDomain::Load);
-        for (const std::string &alias : config_.benches) {
-            auto built = workloads::tryBuildBenchmark(
-                alias, config_.scale, config_.frameLimit);
-            if (!built.ok())
-                return built.error();
-            auto item = std::make_unique<Item>();
-            item->alias = alias;
-            item->scene = std::move(*built);
-            item->data = std::make_unique<megsim::BenchmarkData>(
-                item->scene, gpusim::GpuConfig::evaluationScaled(),
-                config_.cacheDir);
-            items_.push_back(std::move(item));
-        }
-    }
+    // A solo supervised run is the degenerate scheduler case: one
+    // request, strict FIFO, queue depth 1.
+    Fleet fleet(config_, std::max<std::size_t>(sup_.workers, 1));
+    sched::SchedulerConfig schedConfig;
+    schedConfig.policy = sched::Policy::Fifo;
+    schedConfig.maxInflight = 1;
+    schedConfig.shard = sup_;
+    sched::Scheduler scheduler(config_, schedConfig, fleet);
 
-    // 2. Probe caches; shard the benchmarks needing regeneration into
-    // frame ranges (bench-major, suite order — shard ids are stable
-    // for a given config, which is what the fault grammar's shard=K
-    // targeting relies on).
-    shards_.clear();
-    for (std::size_t i = 0; i < items_.size(); ++i) {
-        Item &item = *items_[i];
-        switch (item.data->probeCaches()) {
-          case megsim::CacheProbe::Loaded:
-            item.cacheStatus = "fresh";
-            continue;
-          case megsim::CacheProbe::Invalid:
-            item.cacheStatus = "rebuilt";
-            break;
-          case megsim::CacheProbe::Missing:
-            item.cacheStatus = "built";
-            break;
-        }
-        item.needsRegen = true;
-        const std::size_t frames = item.scene.numFrames();
-        for (std::size_t begin = 0; begin < frames;
-             begin += sup_.shardFrames) {
-            Shard shard;
-            shard.id = shards_.size();
-            shard.item = i;
-            shard.beginFrame = begin;
-            shard.endFrame =
-                std::min(frames, begin + sup_.shardFrames);
-            shards_.push_back(std::move(shard));
-        }
-    }
+    sched::RequestSpec spec;
+    spec.benches = config_.benches;
+    spec.ledger = ledger_;
+    Expected<std::size_t> admitted = scheduler.admit(spec);
+    if (!admitted.ok())
+        return admitted.error();
 
-    // 3. Supervision loop: fork the pool, dispatch shards, recover
-    // from crashes/hangs/corruption, back off and quarantine.
-    if (!shards_.empty()) {
-        workers_.assign(
-            std::min(sup_.workers, shards_.size()), Worker{});
-        for (std::size_t w = 0; w < workers_.size(); ++w)
-            spawnWorker(w);
+    std::vector<sched::RequestResult> results =
+        scheduler.runToCompletion();
+    // Closing the request pipes is the workers' EOF shutdown signal;
+    // their exit events still belong in this run's ledger.
+    fleet.shutdown();
+    if (ledger_)
+        for (auto &[type, fields] : fleet.drainLedgerEvents())
+            ledger_->event(type, std::move(fields));
 
-        auto unfinished = [&]() {
-            return std::any_of(
-                shards_.begin(), shards_.end(), [](const Shard &s) {
-                    return s.state == Shard::State::Pending ||
-                           s.state == Shard::State::Running;
-                });
-        };
-
-        while (unfinished()) {
-            const double now = obs::wallSeconds();
-
-            // Respawn dead slots while work remains.
-            for (std::size_t w = 0; w < workers_.size(); ++w)
-                if (!workers_[w].alive)
-                    spawnWorker(w);
-
-            // Dispatch eligible pending shards to idle workers.
-            for (std::size_t w = 0; w < workers_.size(); ++w) {
-                Worker &worker = workers_[w];
-                if (!worker.alive || worker.busy)
-                    continue;
-                Shard *next = nullptr;
-                for (Shard &shard : shards_)
-                    if (shard.state == Shard::State::Pending &&
-                        shard.eligibleAt <= now) {
-                        next = &shard;
-                        break;
-                    }
-                if (!next)
-                    break;
-                ShardSpec spec;
-                spec.id = next->id;
-                spec.bench = items_[next->item]->alias;
-                spec.beginFrame = next->beginFrame;
-                spec.endFrame = next->endFrame;
-                spec.attempt = next->attempts;
-                if (!writeMessage(worker.reqFd, shardRequest(spec))
-                         .ok()) {
-                    // The worker died before taking the request; the
-                    // shard was never attempted, so no retry counts.
-                    reapWorker(w, "crash");
-                    continue;
-                }
-                next->state = Shard::State::Running;
-                worker.busy = true;
-                worker.shard = next->id;
-                worker.deadline =
-                    now + shardDeadlineSeconds(*next);
-            }
-
-            // Wait for replies, bounded so deadlines and backoff
-            // expiries are honored promptly.
-            std::vector<struct pollfd> fds;
-            std::vector<std::size_t> slots;
-            for (std::size_t w = 0; w < workers_.size(); ++w)
-                if (workers_[w].alive && workers_[w].busy) {
-                    fds.push_back({workers_[w].repFd, POLLIN, 0});
-                    slots.push_back(w);
-                }
-            if (fds.empty()) {
-                // Everything pending is backing off; sleep briefly.
-                ::usleep(2000);
-                continue;
-            }
-            const int ready =
-                ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                       50);
-            if (ready < 0 && errno != EINTR)
-                return errorf(Errc::Io, "serve: poll failed: %s",
-                              std::strerror(errno));
-
-            for (std::size_t i = 0; i < fds.size(); ++i) {
-                const std::size_t w = slots[i];
-                Worker &worker = workers_[w];
-                if (!worker.alive || !worker.busy)
-                    continue;
-                Shard &shard = shards_[worker.shard];
-                if ((fds[i].revents & (POLLIN | POLLHUP)) == 0) {
-                    // No reply yet — enforce the shard deadline.
-                    if (obs::wallSeconds() > worker.deadline) {
-                        ::kill(worker.pid, SIGKILL);
-                        reapWorker(w, "hang");
-                        failShard(shard, "shard deadline exceeded");
-                    }
-                    continue;
-                }
-
-                const double left = std::max(
-                    0.05,
-                    worker.deadline - obs::wallSeconds());
-                Expected<Json> reply =
-                    readMessage(worker.repFd, left * 1000.0);
-                if (!reply.ok()) {
-                    const Errc code = reply.error().code;
-                    if (code == Errc::Truncated) {
-                        // The worker died mid-shard.
-                        reapWorker(w, "crash");
-                    } else if (code == Errc::FrameTimeout) {
-                        ::kill(worker.pid, SIGKILL);
-                        reapWorker(w, "hang");
-                    } else {
-                        // Checksum/format/io damage: the stream is
-                        // unusable, so the worker is too.
-                        ::kill(worker.pid, SIGKILL);
-                        reapWorker(w, "corrupt-reply");
-                    }
-                    failShard(shard, reply.error().message);
-                    continue;
-                }
-
-                worker.busy = false;
-                const Json *status = reply->find("status");
-                if (!status || status->asString() != "ok") {
-                    const Json *message = reply->find("message");
-                    failShard(shard, message
-                                         ? message->asString()
-                                         : "worker error");
-                    continue;
-                }
-                auto stats = rowsFromJson(reply->find("stats"),
-                                          "stats");
-                auto acts = rowsFromJson(reply->find("activity"),
-                                         "activity");
-                if (!stats.ok() || !acts.ok() ||
-                    stats->size() !=
-                        shard.endFrame - shard.beginFrame ||
-                    acts->size() != stats->size()) {
-                    failShard(shard, "malformed shard reply");
-                    continue;
-                }
-                if (const Json *resumed = reply->find("resumed"))
-                    shard.resumed = static_cast<std::size_t>(
-                        resumed->asNumber());
-                shard.statsRows = std::move(*stats);
-                shard.activityRows = std::move(*acts);
-                shard.state = Shard::State::Done;
-                ++serveCounter("shards_completed",
-                               "shards completed and recorded");
-                // The shard journal served its purpose; the rows now
-                // live with the supervisor.
-                const std::string stem = shardStem(
-                    items_[shard.item]->data->checkpointStem(),
-                    shard.beginFrame, shard.endFrame);
-                std::error_code ec;
-                std::filesystem::remove(stem + ".ckpt.manifest", ec);
-                std::filesystem::remove(stem + ".ckpt.stats.jnl",
-                                        ec);
-                std::filesystem::remove(stem + ".ckpt.activity.jnl",
-                                        ec);
-            }
-        }
-
-        // 4. Orderly shutdown: closing the request pipes is the
-        // workers' EOF signal; they exit 0 on their own.
-        for (std::size_t w = 0; w < workers_.size(); ++w)
-            reapWorker(w, "shutdown");
-        workers_.clear();
-    }
-
-    // 5. Reassemble each regenerated benchmark's ground truth from
-    // its shard rows (frame order = shard order within the bench) and
-    // install it — same cache artifacts as the in-process pass.
-    for (std::size_t i = 0; i < items_.size(); ++i) {
-        Item &item = *items_[i];
-        if (!item.needsRegen || item.quarantined)
-            continue;
-        const std::size_t vs = item.scene.numVertexShaders();
-        const std::size_t fs = item.scene.numFragmentShaders();
-        std::vector<gpusim::FrameStats> stats;
-        std::vector<gpusim::FrameActivity> acts;
-        stats.reserve(item.scene.numFrames());
-        acts.reserve(item.scene.numFrames());
-        for (const Shard &shard : shards_) {
-            if (shard.item != i)
-                continue;
-            item.resumedFrames += shard.resumed;
-            for (const std::vector<double> &row : shard.statsRows)
-                stats.push_back(
-                    gpusim::FrameStats::fromCsvRow(row));
-            for (const std::vector<double> &row :
-                 shard.activityRows)
-                acts.push_back(
-                    megsim::activityFromRow(row, vs, fs));
-        }
-        auto installed = item.data->installGroundTruth(
-            std::move(stats), std::move(acts));
-        if (!installed.ok())
-            sim::warn("serve: cache store of '%s' failed: %s",
-                      item.alias.c_str(),
-                      installed.error().message.c_str());
-    }
-
-    // 6. Analyze in suite order through the shared pipeline —
-    // identical inputs, identical rows to the in-process campaign.
-    batch::CampaignReport report;
-    for (auto &item : items_) {
-        if (item->quarantined)
-            continue;
-        batch::BenchmarkReport row = batch::analyzeBenchmark(
-            item->alias, *item->data, config_.megsim);
-        row.resumedFrames = item->resumedFrames;
-        row.cacheStatus = item->cacheStatus;
-        report.benchmarks.push_back(std::move(row));
-    }
-    for (const Shard &shard : shards_) {
-        if (shard.state != Shard::State::Quarantined)
-            continue;
-        batch::QuarantinedShard q;
-        q.shard = shard.id;
-        q.bench = items_[shard.item]->alias;
-        q.beginFrame = shard.beginFrame;
-        q.endFrame = shard.endFrame;
-        q.attempts = shard.attempts;
-        q.reason = shard.lastReason;
-        report.quarantined.push_back(std::move(q));
-    }
-    report.degraded = !report.quarantined.empty();
-    report.threads = pool.workers();
-    report.computeAggregates();
-    report.wallSeconds = obs::wallSeconds() - t0;
-
-    const double busy = counterValue("exec.pool.busy_seconds") - busy0;
-    const double jobSeconds =
-        counterValue("exec.pool.job_seconds") - job0;
-    const double capacity =
-        static_cast<double>(pool.workers()) * jobSeconds;
-    report.poolUtilization =
-        capacity > 0.0
-            ? (busy < capacity ? busy / capacity : 1.0)
-            : 1.0;
-
-    batch::publishCampaignStats(report);
-    return report;
+    if (results.empty())
+        return errorf(Errc::Exhausted,
+                      "supervised run produced no result");
+    return std::move(results.front().report);
 }
 
 } // namespace msim::serve

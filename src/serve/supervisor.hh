@@ -29,6 +29,14 @@
  * in-process batch::Campaign at ANY worker count: frames simulate
  * cold, shard rows are reassembled in frame order, and the analysis
  * runs through the same batch::analyzeBenchmark.
+ *
+ * Since the scheduler split, the Supervisor is a facade: it owns a
+ * serve::Fleet of the requested size and drives a single-request,
+ * FIFO, max-inflight-1 sched::Scheduler over it — the same engine the
+ * multi-request service uses, configured down to the classic solo
+ * semantics. The supervision behaviour documented above (detection,
+ * recovery, backoff, quarantine, ledger events) now lives in those
+ * two layers; this class keeps the stable entry point.
  */
 
 #ifndef MSIM_SERVE_SUPERVISOR_HH
@@ -89,22 +97,9 @@ class Supervisor
     resilience::Expected<batch::CampaignReport> run();
 
   private:
-    struct Item;
-    struct Shard;
-    struct Worker;
-
-    void spawnWorker(std::size_t slot);
-    void reapWorker(std::size_t slot, const char *reason);
-    void failShard(Shard &shard, const std::string &reason);
-    void recordEvent(const char *type, util::Json fields);
-    double shardDeadlineSeconds(const Shard &shard) const;
-
     batch::CampaignConfig config_;
     SupervisorConfig sup_;
     obs::RunLedger *ledger_;
-    std::vector<std::unique_ptr<Item>> items_;
-    std::vector<Shard> shards_;
-    std::vector<Worker> workers_;
 };
 
 } // namespace msim::serve

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -140,6 +141,20 @@ runShard(BenchState &bench, const ShardSpec &spec,
             ::sleep(3600); // until the supervisor's deadline SIGKILL
     }
 
+    // Optional per-shard think time modeling trace-ingest I/O: real
+    // graphics workloads replay API traces from disk, so shard wall
+    // time is wait-dominated, not CPU-dominated. bench/serve sets
+    // this to make the fleet's wait-overlap measurable on any core
+    // count; it is 0 (free) everywhere else.
+    {
+        static const long thinkMs = [] {
+            const char *env = std::getenv("MEGSIM_SHARD_THINK_MS");
+            return env ? std::atol(env) : 0L;
+        }();
+        if (thinkMs > 0 && resumed < frames)
+            ::usleep(static_cast<useconds_t>(thinkMs) * 1000);
+    }
+
     for (std::size_t i = resumed; i < frames; ++i) {
         const std::size_t f = spec.beginFrame + i;
         if (faults.hangFrame(f))
@@ -187,6 +202,9 @@ workerMain(int reqFd, int repFd, const batch::CampaignConfig &config)
     std::signal(SIGPIPE, SIG_IGN);
     const resilience::WatchdogConfig watchdog =
         resilience::WatchdogConfig::fromEnv();
+    // Replies carry whole shards of rows; above the spill threshold
+    // they go to disk and only a spill_ref crosses the pipe.
+    const SpillConfig spill = SpillConfig::fromEnv();
     std::map<std::string, std::unique_ptr<BenchState>> benches;
 
     for (;;) {
@@ -210,7 +228,7 @@ workerMain(int reqFd, int repFd, const batch::CampaignConfig &config)
             reply.set("shard", static_cast<std::size_t>(0));
             reply.set("status", "error");
             reply.set("message", spec.error().message);
-            if (!writeMessage(repFd, reply).ok())
+            if (!writeMessage(repFd, reply, spill).ok())
                 return 1;
             continue;
         }
@@ -221,7 +239,7 @@ workerMain(int reqFd, int repFd, const batch::CampaignConfig &config)
         if (!bench.ok()) {
             reply.set("status", "error");
             reply.set("message", bench.error().message);
-            if (!writeMessage(repFd, reply).ok())
+            if (!writeMessage(repFd, reply, spill).ok())
                 return 1;
             continue;
         }
@@ -239,7 +257,7 @@ workerMain(int reqFd, int repFd, const batch::CampaignConfig &config)
             reply.set("stats", rowsToJson(statsRows));
             reply.set("activity", rowsToJson(activityRows));
         }
-        if (!writeMessage(repFd, reply).ok())
+        if (!writeMessage(repFd, reply, spill).ok())
             return 1;
     }
 }

@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -205,6 +207,129 @@ TEST_F(ServeTest, WorkerFaultDiceAreDeterministicPerShardAttempt)
     EXPECT_TRUE(FaultInjector::global().hangWorker(1, 0));
     EXPECT_TRUE(FaultInjector::global().hangWorker(1, 5));
     EXPECT_FALSE(FaultInjector::global().hangWorker(0, 0));
+}
+
+TEST_F(ServeTest, OversizedRepliesSpillToDiskAndRoundTrip)
+{
+    serve::SpillConfig spill;
+    spill.thresholdBytes = 16;
+    spill.dir = path("spill");
+    std::filesystem::create_directories(spill.dir);
+    auto spillCount = [&] {
+        std::size_t n = 0;
+        for ([[maybe_unused]] const auto &entry :
+             std::filesystem::directory_iterator(spill.dir))
+            ++n;
+        return n;
+    };
+
+    // An artificially large reply crosses the pipe as a spill_ref but
+    // reads back byte-identical; the single-use file is gone after.
+    util::Json big = util::Json::object();
+    big.set("type", "shard_done");
+    big.set("blob", std::string(4096, 'x'));
+    {
+        Pipe pipe;
+        ASSERT_TRUE(
+            serve::writeMessage(pipe.fds[1], big, spill).ok());
+        EXPECT_EQ(spillCount(), 1u);
+        auto read = serve::readMessage(pipe.fds[0], 1000.0);
+        ASSERT_TRUE(read.ok()) << read.error().message;
+        EXPECT_EQ(read->dump(), big.dump());
+        EXPECT_EQ(spillCount(), 0u);
+    }
+
+    // Payloads at or under the threshold never touch the disk.
+    {
+        Pipe pipe;
+        util::Json small = util::Json::object();
+        small.set("a", 1);
+        ASSERT_TRUE(
+            serve::writeMessage(pipe.fds[1], small, spill).ok());
+        EXPECT_EQ(spillCount(), 0u);
+        EXPECT_TRUE(serve::readMessage(pipe.fds[0], 1000.0).ok());
+    }
+
+    // A corrupted spill file is BadChecksum — and still removed, so a
+    // bad reply never leaks onto disk across retries.
+    {
+        Pipe pipe;
+        ASSERT_TRUE(
+            serve::writeMessage(pipe.fds[1], big, spill).ok());
+        ASSERT_EQ(spillCount(), 1u);
+        for (const auto &entry :
+             std::filesystem::directory_iterator(spill.dir)) {
+            std::ofstream out(entry.path(), std::ios::app);
+            out << "tail";
+        }
+        auto read = serve::readMessage(pipe.fds[0], 1000.0);
+        ASSERT_FALSE(read.ok());
+        EXPECT_EQ(read.error().code, Errc::BadChecksum);
+        EXPECT_EQ(spillCount(), 0u);
+    }
+
+    // A vanished spill file is Truncated: the writer died between the
+    // spill and the frame, same recovery path as a worker crash.
+    {
+        Pipe pipe;
+        ASSERT_TRUE(
+            serve::writeMessage(pipe.fds[1], big, spill).ok());
+        for (const auto &entry :
+             std::filesystem::directory_iterator(spill.dir))
+            std::filesystem::remove(entry.path());
+        auto read = serve::readMessage(pipe.fds[0], 1000.0);
+        ASSERT_FALSE(read.ok());
+        EXPECT_EQ(read.error().code, Errc::Truncated);
+    }
+
+    // An unreachable spill directory falls back to the pipe: spilling
+    // is an optimization, never a new failure mode.
+    {
+        Pipe pipe;
+        serve::SpillConfig gone;
+        gone.thresholdBytes = 16;
+        gone.dir = path("no-such-dir/nested");
+        ASSERT_TRUE(
+            serve::writeMessage(pipe.fds[1], big, gone).ok());
+        auto read = serve::readMessage(pipe.fds[0], 1000.0);
+        ASSERT_TRUE(read.ok()) << read.error().message;
+        EXPECT_EQ(read->dump(), big.dump());
+    }
+}
+
+TEST_F(ServeTest, SupervisedRunsMatchInProcessWithSpillInForce)
+{
+    // Every shard reply is far larger than 64 bytes, so the whole
+    // supervised run round-trips through spill files; results must
+    // still be bit-identical to the in-process pass.
+    const std::vector<std::string> benches = {"hcr"};
+    constexpr std::size_t kFrames = 8;
+
+    std::filesystem::create_directories(path("ref"));
+    batch::Campaign ref(
+        campaignConfig(path("ref"), benches, kFrames));
+    auto expected = ref.run();
+    ASSERT_TRUE(expected.ok()) << expected.error().message;
+
+    std::filesystem::create_directories(path("spill"));
+    ::setenv("MEGSIM_SHARD_REPLY_SPILL", "64", 1);
+    ::setenv("MEGSIM_SHARD_SPILL_DIR", path("spill").c_str(), 1);
+    std::filesystem::create_directories(path("cache"));
+    serve::Supervisor supervisor(
+        campaignConfig(path("cache"), benches, kFrames),
+        supConfig(2));
+    auto report = supervisor.run();
+    ::unsetenv("MEGSIM_SHARD_REPLY_SPILL");
+    ::unsetenv("MEGSIM_SHARD_SPILL_DIR");
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_FALSE(report->degraded);
+
+    const std::vector<std::string> diffs =
+        batch::diffReports(*expected, *report);
+    EXPECT_TRUE(diffs.empty()) << diffs.front();
+
+    // Single-use spill files never accumulate.
+    EXPECT_TRUE(std::filesystem::is_empty(path("spill")));
 }
 
 TEST_F(ServeTest, SupervisedRunsMatchInProcessAtEveryWorkerCount)

@@ -112,6 +112,8 @@
 #include "obs/timeline.hh"
 #include "obs/trace_export.hh"
 #include "resilience/artifact.hh"
+#include "sched/policy.hh"
+#include "sched/scheduler.hh"
 #include "serve/service.hh"
 #include "serve/supervisor.hh"
 #include "util/json.hh"
@@ -132,6 +134,7 @@ constexpr int kExitThresholdBreach = 5;
 constexpr int kExitDiffMismatch = 6;
 constexpr int kExitLedgerInvalid = 7;
 constexpr int kExitDegraded = 8;
+constexpr int kExitQueueFull = 9;
 
 struct Options
 {
@@ -151,7 +154,11 @@ struct Options
     std::string history;  // perf: directory of run ledgers
     std::string validate; // ledger: file to schema-check
     std::string socket;   // serve/submit: unix socket path
+    std::string policy;   // serve: scheduling policy name
+    std::string tenant;   // submit: fair-share tenant label
+    double weight = 1.0;  // submit: fair-share weight
     double band = 25.0;  // perf: comparison band (percent)
+    std::size_t maxInflight = 0; // serve: 0 = env / built-in default
     std::size_t workers = 0; // supervised workers (0 = in-process)
     std::size_t maxRequests = 0; // serve: 0 = serve forever
     std::size_t frameBegin = 0;
@@ -163,6 +170,7 @@ struct Options
     bool outSet = false;
     bool attrib = false; // host-cost attribution report
     bool workersSet = false; // submit: forward --workers only if given
+    bool weightSet = false;  // submit: forward --weight only if given
 };
 
 int
@@ -181,9 +189,11 @@ usage(const char *argv0)
         " [--ledger PATH] [--workers N]\n"
         "       %s campaign --diff A.json B.json\n"
         "       %s serve --socket PATH [--max-requests N]"
-        " [--workers N] [--benches A,B,C] [--cache-dir DIR]\n"
+        " [--workers N] [--policy fifo|fair|srs]"
+        " [--max-inflight N] [--benches A,B,C] [--cache-dir DIR]\n"
         "       %s submit --socket PATH [--benches A,B,C]"
-        " [--workers N] [--out REPORT.json] [--ledger PATH]\n"
+        " [--tenant NAME] [--weight W]"
+        " [--out REPORT.json] [--ledger PATH]\n"
         "       %s perf [--frames N] [--out BENCH_gpusim.json]"
         " [--benches A,B,C] [--compare BASELINE.json] [--band PCT]\n"
         "       %s perf --history DIR\n"
@@ -326,6 +336,28 @@ parse(int argc, char **argv, Options &opt)
                 return false;
             opt.maxRequests =
                 static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--policy") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.policy = v;
+        } else if (arg == "--max-inflight") {
+            const char *v = next();
+            if (!v || std::atoll(v) < 1)
+                return false;
+            opt.maxInflight =
+                static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--tenant") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.tenant = v;
+        } else if (arg == "--weight") {
+            const char *v = next();
+            if (!v || std::atof(v) <= 0.0)
+                return false;
+            opt.weight = std::atof(v);
+            opt.weightSet = true;
         } else if (arg == "--cache-dir") {
             const char *v = next();
             if (!v)
@@ -478,6 +510,8 @@ envManifest()
         "MEGSIM_THREADS",   "MEGSIM_FRAME_LIMIT", "MEGSIM_SCALE",
         "MEGSIM_CACHE_DIR", "MEGSIM_CHECKPOINT",  "MEGSIM_TRACE",
         "MEGSIM_TIMELINE",  "MEGSIM_ATTRIB",
+        "MEGSIM_SCHED_POLICY",     "MEGSIM_SCHED_MAX_INFLIGHT",
+        "MEGSIM_SHARD_REPLY_SPILL", "MEGSIM_SHARD_SPILL_DIR",
     };
     util::Json env = util::Json::object();
     for (const char *var : kVars)
@@ -824,7 +858,27 @@ runServe(const Options &opt)
         config.base.scale = opt.scale;
     config.sup = serve::SupervisorConfig::fromEnv();
     config.sup.workers = opt.workers;
-    return serve::runService(config) == 0 ? kExitOk : kExitRuntime;
+    // Env first (MEGSIM_SCHED_*), explicit flags override.
+    const sched::SchedulerConfig sched = sched::SchedulerConfig::fromEnv();
+    config.policy = sched.policy;
+    config.maxInflight = sched.maxInflight;
+    if (!opt.policy.empty()) {
+        auto parsed = sched::parsePolicy(opt.policy);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "serve: %s\n",
+                         parsed.error().message.c_str());
+            return kExitUsage;
+        }
+        config.policy = *parsed;
+    }
+    if (opt.maxInflight > 0)
+        config.maxInflight = opt.maxInflight;
+    const int rc =
+        serve::runService(config) == 0 ? kExitOk : kExitRuntime;
+    // MEGSIM_TIMELINE: the request.wait/request.service lanes are the
+    // per-request view of the whole serving session.
+    writeTimelineIfEnabled(opt);
+    return rc;
 }
 
 int
@@ -846,6 +900,10 @@ runSubmit(const Options &opt)
     // governs otherwise.
     if (opt.workersSet)
         request.set("workers", opt.workers);
+    if (!opt.tenant.empty())
+        request.set("tenant", opt.tenant);
+    if (opt.weightSet)
+        request.set("weight", opt.weight);
 
     auto reply = serve::submit(opt.socket, request);
     if (!reply.ok()) {
@@ -856,6 +914,15 @@ runSubmit(const Options &opt)
     const util::Json *status = reply->find("status");
     const std::string state =
         status ? status->asString() : std::string("?");
+    if (state == "rejected") {
+        // Backpressure: the scheduler queue is full. Distinct exit
+        // code so callers can retry instead of treating it as failure.
+        const util::Json *message = reply->find("message");
+        std::fprintf(stderr, "submit rejected: %s\n",
+                     message ? message->asString().c_str()
+                             : "queue full");
+        return kExitQueueFull;
+    }
     if (state == "error") {
         const util::Json *message = reply->find("message");
         std::fprintf(stderr, "served campaign failed: %s\n",
