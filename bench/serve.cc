@@ -6,11 +6,14 @@
  * requests (each request regenerates one suite benchmark from a cold
  * cache), then A/Bs strict FIFO against weighted fair-share at the
  * contended 4-worker × 4-request point. Emits the megsim-serve-v1
- * report and an optional megsim-run-v1 ledger, and compares warn-only
- * against a committed baseline like bench/hotpath does.
+ * report and an optional megsim-run-v1 ledger, and compares against a
+ * committed baseline like the perf trajectory: warn-only by default,
+ * or as an enforced gate with --strict (a regression beyond the band
+ * exits 10; an improvement beyond it prints the cp command that
+ * refreshes the baseline; missing baseline points stay informational).
  *
  *   MEGSIM_FRAME_LIMIT=48 build/bench/serve \
- *       --compare ci/BENCH_serve.json --band 25
+ *       --compare ci/BENCH_serve.json --band 25 --strict
  */
 
 #include <algorithm>
@@ -145,6 +148,7 @@ main(int argc, char **argv)
     std::string out = bench::outDir() + "/BENCH_serve.json";
     std::string ledgerPath;
     std::string compare;
+    bool strict = false;
     double band = 25.0;
     std::size_t frames = 48;
     if (const char *env = std::getenv("MEGSIM_FRAME_LIMIT"))
@@ -180,11 +184,13 @@ main(int argc, char **argv)
         } else if (arg == "--think-ms") {
             if (const char *v = next())
                 thinkMs = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--strict") {
+            strict = true;
         } else {
             std::fprintf(stderr,
                          "usage: serve [--out PATH] [--ledger PATH]"
                          " [--compare BASELINE.json] [--band PCT]"
-                         " [--frames N] [--think-ms MS]\n");
+                         " [--strict] [--frames N] [--think-ms MS]\n");
             return 2;
         }
     }
@@ -291,24 +297,53 @@ main(int argc, char **argv)
         std::printf("ledger: %s\n", ledgerPath.c_str());
     }
 
+    int rc = 0;
     if (!compare.empty()) {
         auto baseline = sched::ServeReport::load(compare);
         if (!baseline.ok()) {
+            // A missing baseline never gates — strict or not — so a
+            // brand-new matrix point can land before its baseline.
             std::fprintf(stderr,
                          "serve-bench: no baseline %s: %s\n",
                          compare.c_str(),
                          baseline.error().message.c_str());
-            return 0; // warn-only, like the perf trajectory
+        } else {
+            const std::vector<sched::ServeDelta> deltas =
+                sched::compareServeDeltas(report, *baseline, band);
+            bool regression = false;
+            bool improvement = false;
+            for (const sched::ServeDelta &d : deltas) {
+                if (d.missingBaseline) {
+                    std::printf("NOTE %s: no baseline point\n",
+                                d.what.c_str());
+                    continue;
+                }
+                std::printf("%s %s: %.3f vs baseline %.3f (%+.1f%%,"
+                            " band ±%.0f%%)\n",
+                            strict ? "DELTA" : "WARN",
+                            d.what.c_str(), d.current, d.baseline,
+                            d.deltaPercent, band);
+                (d.deltaPercent < 0.0 ? regression : improvement) =
+                    true;
+            }
+            if (!regression && !improvement)
+                std::printf("within ±%.0f%% of %s\n", band,
+                            compare.c_str());
+            if (strict && regression) {
+                std::fprintf(stderr,
+                             "serve-bench: regression beyond the "
+                             "±%.0f%% band vs %s\n",
+                             band, compare.c_str());
+                rc = 10;
+            } else if (strict && improvement) {
+                std::printf("serve-bench improved beyond the band; "
+                            "refresh the committed baseline:\n"
+                            "  cp %s %s\n",
+                            out.c_str(), compare.c_str());
+            }
         }
-        const std::vector<std::string> drift =
-            sched::compareServeReports(report, *baseline, band);
-        for (const std::string &line : drift)
-            std::printf("WARN %s\n", line.c_str());
-        if (drift.empty())
-            std::printf("within ±%.0f%% of %s\n", band,
-                        compare.c_str());
     }
     std::error_code ec;
     std::filesystem::remove_all(cacheDir, ec);
-    return 0;
+    return rc;
 }

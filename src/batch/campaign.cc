@@ -84,6 +84,16 @@ analyzeBenchmark(const std::string &alias,
     for (std::size_t m = 0; m < kNumMetrics; ++m)
         report.errorPercent[m] =
             pipeline.errorPercent(run, kMetrics[m]);
+    if (data.fastMem()) {
+        report.memMode = "fast";
+        const megsim::FastMemAudit &audit = data.audit();
+        if (audit.auditedFrames > 0) {
+            report.hasExactVsFast = true;
+            report.auditedFrames = audit.auditedFrames;
+            for (std::size_t m = 0; m < kNumMetrics; ++m)
+                report.exactVsFast[m] = audit.errorPercent(m);
+        }
+    }
     report.wallSeconds = obs::wallSeconds() - t0;
     return report;
 }
@@ -125,9 +135,11 @@ Campaign::run()
             auto item = std::make_unique<Item>();
             item->alias = alias;
             item->scene = std::move(*built);
+            gpusim::GpuConfig gpu =
+                gpusim::GpuConfig::evaluationScaled();
+            gpu.fastMem = config_.fastMem;
             item->data = std::make_unique<megsim::BenchmarkData>(
-                item->scene, gpusim::GpuConfig::evaluationScaled(),
-                config_.cacheDir);
+                item->scene, gpu, config_.cacheDir);
             items_.push_back(std::move(item));
         }
     }
@@ -256,6 +268,7 @@ Campaign::run()
 
     CampaignReport report;
     report.threads = pool.workers();
+    report.memMode = config_.fastMem.enabled ? "fast" : "exact";
     for (auto &item : items_)
         report.benchmarks.push_back(item->report);
     report.computeAggregates();
@@ -299,6 +312,18 @@ publishCampaignStats(const CampaignReport &report)
         for (std::size_t m = 0; m < kNumMetrics; ++m)
             errors.scalar(kMetricKeys[m], "relative error (%)")
                 .set(b.errorPercent[m]);
+        if (b.hasExactVsFast) {
+            obs::StatsGroup audit = group.group("exact_vs_fast");
+            audit
+                .scalar("audited_frames",
+                        "frames double-run for the audit")
+                .set(static_cast<double>(b.auditedFrames));
+            for (std::size_t m = 0; m < kNumMetrics; ++m)
+                audit
+                    .scalar(kMetricKeys[m],
+                            "fast-mem audit error (%)")
+                    .set(b.exactVsFast[m]);
+        }
     }
     obs::StatsGroup suite = registry.group("campaign.suite");
     suite.scalar("benchmarks", "benchmarks in the campaign")

@@ -50,6 +50,13 @@ struct CampaignConfig
     /** Truncate every benchmark to this many frames (0 = full). */
     std::size_t frameLimit = 0;
     megsim::MegsimConfig megsim;
+    /**
+     * Opt-in calibrated fast-mem model for the ground-truth pass.
+     * Deliberately NOT read by fromEnv(): the mode must be chosen
+     * explicitly (megsim-cli --fast-mem) so supervised serve workers
+     * and cron-style env-driven runs stay exact unless asked.
+     */
+    mem::FastMemConfig fastMem;
 
     /**
      * The evaluation defaults shared with the bench drivers (same

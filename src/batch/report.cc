@@ -99,6 +99,7 @@ CampaignReport::toJson() const
     util::Json root = util::Json::object();
     root.set("schema", kSchema);
     root.set("threads", threads);
+    root.set("mem_mode", memMode);
     root.set("degraded", degraded);
 
     util::Json quarantineRows = util::Json::array();
@@ -126,6 +127,11 @@ CampaignReport::toJson() const
         row.set("error_percent", metricObject(b.errorPercent));
         row.set("wall_seconds", b.wallSeconds);
         row.set("cache", b.cacheStatus);
+        row.set("mem_mode", b.memMode);
+        if (b.hasExactVsFast) {
+            row.set("exact_vs_fast", metricObject(b.exactVsFast));
+            row.set("audited_frames", b.auditedFrames);
+        }
         rows.push(std::move(row));
     }
     root.set("benchmarks", std::move(rows));
@@ -151,13 +157,18 @@ CampaignReport::fromJson(const util::Json &json)
     if (!schema || !schema->isString())
         return resilience::errorf(resilience::Errc::BadFormat,
                                   "report: missing 'schema'");
-    if (schema->asString() != kSchema)
+    // v1 reports load fine: every v2 field is optional and defaults
+    // to the exact-mode value v1 rows implicitly carried.
+    if (schema->asString() != kSchema &&
+        schema->asString() != kSchemaV1)
         return resilience::errorf(
             resilience::Errc::BadVersion,
-            "report: schema '%s', expected '%s'",
-            schema->asString().c_str(), kSchema);
+            "report: schema '%s', expected '%s' (or '%s')",
+            schema->asString().c_str(), kSchema, kSchemaV1);
 
     CampaignReport report;
+    if (const util::Json *mode = json.find("mem_mode"))
+        report.memMode = mode->asString();
     if (auto threads = numberAt(json, "threads"); threads.ok())
         report.threads = static_cast<std::size_t>(*threads);
     else
@@ -239,6 +250,18 @@ CampaignReport::fromJson(const util::Json &json)
         b.wallSeconds = *wall;
         if (const util::Json *cache = row.find("cache"))
             b.cacheStatus = cache->asString();
+        if (const util::Json *mode = row.find("mem_mode"))
+            b.memMode = mode->asString();
+        if (const util::Json *audit = row.find("exact_vs_fast")) {
+            auto parsed = metricObjectInto(audit, "exact_vs_fast",
+                                           b.exactVsFast);
+            if (!parsed.ok())
+                return parsed.error();
+            b.hasExactVsFast = true;
+            if (auto frames = numberAt(row, "audited_frames");
+                frames.ok())
+                b.auditedFrames = static_cast<std::size_t>(*frames);
+        }
         report.benchmarks.push_back(std::move(b));
     }
 
@@ -296,8 +319,11 @@ CampaignReport::load(const std::string &path)
 
 Thresholds::Thresholds()
 {
-    for (std::size_t m = 0; m < kNumMetrics; ++m)
+    for (std::size_t m = 0; m < kNumMetrics; ++m) {
         maxErrorPercent[m] = std::numeric_limits<double>::infinity();
+        maxExactVsFastPercent[m] =
+            std::numeric_limits<double>::infinity();
+    }
 }
 
 resilience::Expected<Thresholds>
@@ -314,6 +340,12 @@ Thresholds::fromJson(const util::Json &json)
         for (std::size_t m = 0; m < kNumMetrics; ++m)
             if (const util::Json *v = errs->find(kMetricKeys[m]))
                 limits.maxErrorPercent[m] = v->asNumber();
+    }
+    if (const util::Json *errs =
+            json.find("max_exact_vs_fast_percent")) {
+        for (std::size_t m = 0; m < kNumMetrics; ++m)
+            if (const util::Json *v = errs->find(kMetricKeys[m]))
+                limits.maxExactVsFastPercent[m] = v->asNumber();
     }
     if (const util::Json *v = json.find("min_reduction"))
         limits.minReduction = v->asNumber();
@@ -348,6 +380,18 @@ checkThresholds(const CampaignReport &report, const Thresholds &limits)
                               b.alias.c_str(), kMetricKeys[m],
                               b.errorPercent[m],
                               limits.maxErrorPercent[m]);
+                violations.emplace_back(line);
+            }
+        }
+        for (std::size_t m = 0; b.hasExactVsFast && m < kNumMetrics;
+             ++m) {
+            if (b.exactVsFast[m] > limits.maxExactVsFastPercent[m]) {
+                std::snprintf(line, sizeof(line),
+                              "%s: %s exact-vs-fast error %.4f%% "
+                              "exceeds limit %.4f%%",
+                              b.alias.c_str(), kMetricKeys[m],
+                              b.exactVsFast[m],
+                              limits.maxExactVsFastPercent[m]);
                 violations.emplace_back(line);
             }
         }
@@ -401,6 +445,12 @@ diffReports(const CampaignReport &a, const CampaignReport &b)
             continue; // field diffs of misaligned rows are noise
         }
         const char *where = ra.alias.c_str();
+        if (ra.memMode != rb.memMode) {
+            std::snprintf(line, sizeof(line),
+                          "%s: mem_mode '%s' != '%s'", where,
+                          ra.memMode.c_str(), rb.memMode.c_str());
+            diffs.emplace_back(line);
+        }
         number(where, "frames", static_cast<double>(ra.frames),
                static_cast<double>(rb.frames));
         number(where, "k", static_cast<double>(ra.chosenK),
@@ -415,6 +465,16 @@ diffReports(const CampaignReport &a, const CampaignReport &b)
                           kMetricKeys[m]);
             number(where, what, ra.errorPercent[m],
                    rb.errorPercent[m]);
+        }
+        // The audit column only exists on fast rows; compare it when
+        // both sides carry it so exact-vs-v1 diffs stay clean.
+        for (std::size_t m = 0;
+             ra.hasExactVsFast && rb.hasExactVsFast && m < kNumMetrics;
+             ++m) {
+            char what[48];
+            std::snprintf(what, sizeof(what), "exact_vs_fast.%s",
+                          kMetricKeys[m]);
+            number(where, what, ra.exactVsFast[m], rb.exactVsFast[m]);
         }
     }
 

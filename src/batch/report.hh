@@ -48,6 +48,21 @@ struct BenchmarkReport
      * (no cache existed).
      */
     std::string cacheStatus = "built";
+    /**
+     * How the ground truth was simulated: "exact" (the default
+     * cycle-accurate walk) or "fast" (the calibrated --fast-mem
+     * model). Schema v2; absent in v1 reports, which were always
+     * exact.
+     */
+    std::string memMode = "exact";
+    /**
+     * Fast-mem audit column (schema v2, "fast" rows only): relative
+     * error (%) of the model's metric totals against exact re-runs of
+     * the audited frames, plus how many frames were audited.
+     */
+    bool hasExactVsFast = false;
+    double exactVsFast[kNumMetrics] = {};
+    std::size_t auditedFrames = 0;
 };
 
 /**
@@ -68,9 +83,19 @@ struct QuarantinedShard
 
 struct CampaignReport
 {
-    static constexpr const char *kSchema = "megsim-campaign-v1";
+    /**
+     * v2 adds the fast-mem provenance fields (campaign + per-row
+     * mem_mode, per-row exact_vs_fast / audited_frames). fromJson()
+     * still accepts v1 — every added field is optional with an
+     * exact-mode default, so pre-v2 reports load, diff and gate
+     * unchanged.
+     */
+    static constexpr const char *kSchema = "megsim-campaign-v2";
+    static constexpr const char *kSchemaV1 = "megsim-campaign-v1";
 
     std::size_t threads = 0;
+    /** "exact" or "fast": the mode every result row ran under. */
+    std::string memMode = "exact";
     /**
      * Degraded completion: at least one shard was quarantined, its
      * benchmark has no result row, and the CLI exits with the
@@ -116,6 +141,13 @@ struct Thresholds
     double minReduction = 0.0;
     /** Suite floor on the mean reduction factor. */
     double minMeanReduction = 0.0;
+    /**
+     * Per-benchmark ceiling on each metric's exact-vs-fast audit
+     * error (%); only rows carrying the audit column are checked.
+     * Optional `max_exact_vs_fast_percent` object — the schema stays
+     * v1 because old parsers ignore unknown keys.
+     */
+    double maxExactVsFastPercent[kNumMetrics];
 
     Thresholds();
 

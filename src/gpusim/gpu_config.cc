@@ -1,14 +1,46 @@
 #include "gpusim/gpu_config.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "sim/random.hh"
 
 namespace msim::gpusim
 {
 
+namespace
+{
+
+/**
+ * MEGSIM_L2_MSHR overrides the L2 MSHR file with a gpgpusim-style
+ * spec (`F:128:4`, `A:16:0`, `F:0:0` to disable). Result-neutral by
+ * construction, so the override is safe to flip per run without
+ * invalidating any committed frame cache.
+ */
+void
+applyMshrEnv(GpuConfig &c)
+{
+    const char *env = std::getenv("MEGSIM_L2_MSHR");
+    if (!env || env[0] == '\0')
+        return;
+    auto parsed = mem::MshrConfig::parse(env);
+    if (parsed.ok()) {
+        c.memory.l2Mshr = *parsed;
+    } else {
+        std::fprintf(stderr,
+                     "MEGSIM_L2_MSHR '%s' ignored: %s\n", env,
+                     parsed.error().message.c_str());
+    }
+}
+
+} // namespace
+
 GpuConfig
 GpuConfig::baseline()
 {
-    return GpuConfig{};
+    GpuConfig c;
+    applyMshrEnv(c);
+    return c;
 }
 
 GpuConfig
@@ -28,6 +60,7 @@ GpuConfig::evaluationScaled()
     c.triangleQueueEntries = 8;
     c.fragmentQueueEntries = 32;
     c.colorQueueEntries = 32;
+    applyMshrEnv(c);
     return c;
 }
 
@@ -64,8 +97,17 @@ GpuConfig::fingerprint() const
                      memory.dram.rowMissLatency);
     h = sim::hashMix(h, memory.dram.bytesPerCycle,
                      memory.dram.banks);
-    return sim::hashMix(h, memory.dram.lineBytes,
-                        memory.dram.rowBytes);
+    h = sim::hashMix(h, memory.dram.lineBytes,
+                     memory.dram.rowBytes);
+    // memory.l2Mshr is result-neutral and deliberately left out (see
+    // MemoryConfig). fastMem changes results, but only when enabled —
+    // mixing it in conditionally keeps exact-mode fingerprints (and
+    // thus every committed frame cache) byte-stable.
+    if (fastMem.enabled) {
+        h = sim::hashMix(h, 0xFA57u, fastMem.calibrationWalks);
+        h = sim::hashMix(h, fastMem.probeEvery, fastMem.auditEvery);
+    }
+    return h;
 }
 
 } // namespace msim::gpusim

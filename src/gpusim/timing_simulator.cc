@@ -69,6 +69,15 @@ TimingSimulator::TimingSimulator(const GpuConfig &config,
         textureCaches_.emplace_back(
             config.textureCache, registry_.group("gpu.texture_cache"));
 
+    // The merge protocol is only sound when an MRU-way read hit on
+    // the L2 is provably state-free (the 2-way specialization); any
+    // other geometry silently runs with the MSHR off.
+    l2Mshr_.configure(l2_.readHitIdempotent() ? config.memory.l2Mshr
+                                              : mem::MshrConfig{});
+    l2Mshr_.bindStats(registry_.group("gpu.l2.mshr"));
+    fastMemOn_ = config.fastMem.enabled;
+    fastMem_.configure(config.fastMem);
+
     vertexProcFree_.resize(std::max(1u, config.numVertexProcessors));
     fragmentProcFree_.resize(
         std::max(1u, config.numFragmentProcessors));
@@ -149,6 +158,23 @@ TimingSimulator::TimingSimulator(const GpuConfig &config,
 void
 TimingSimulator::flushFrameStats()
 {
+    // Fold the fast-mem estimate for this frame's modeled walks into
+    // the cache/DRAM counters before anything flushes: the observed
+    // hit rates scale to the modeled population in exact integer
+    // arithmetic (see mem/fastmem.hh), so merged totals stay
+    // integer-valued and the flush below stays exact. No-op (all
+    // zeros) in the default exact mode.
+    if (fastMemOn_) {
+        const mem::FastMemModel::Estimates e = fastMem_.estimates();
+        if (e.l1Accesses != 0 && !textureCaches_.empty()) {
+            // Any texture cache works: they share one stats group.
+            textureCaches_[0].addModeled(e.l1Accesses, e.l1Hits);
+            l2_.addModeled(e.l2Accesses, e.l2Hits);
+            dram_.addModeled(e.dramLines);
+            batch_.rasterDramLines += e.dramLines;
+        }
+    }
+
     // Each Scalar was reset at frame start, so every counter receives
     // exactly one integer-valued add here — exact below 2^53 and
     // therefore bit-identical to per-event increments. The texture
@@ -175,6 +201,7 @@ TimingSimulator::flushFrameStats()
         c.flushStats();
     tileCache_.flushStats();
     l2_.flushStats();
+    l2Mshr_.flushStats();
     dram_.flushStats(); // sole flush this frame: latency_avg is exact
 
     vertexInQueue_.flushStats();
@@ -211,6 +238,8 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
     tileCache_.invalidate();
     l2_.invalidate();
     dram_.drain();
+    l2Mshr_.reset();
+    fastMem_.reset();
     vertexInQueue_.reset(frameIndex_);
     vertexOutQueue_.reset(frameIndex_);
     triangleQueue_.reset(frameIndex_);
@@ -402,18 +431,26 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
             tileEpoch_ = 1;
         }
 
-        // Read the tile list back (one L2 access per line).
+        // Read the tile list back (one L2 access per line), as
+        // batched multi-line walks. Entry indices wrap modulo 512
+        // (tileListAddr), i.e. every 128 64-byte lines, so each chunk
+        // re-walks the same contiguous window the per-line loop
+        // addressed: line i maps to tileListAddr(tile, 0) + (i % 128)
+        // * 64 exactly.
         sim::Tick t = clock;
-        const std::size_t listLines =
+        std::size_t listLines =
             (bins_[tile].size() * SceneBinding::kTileListEntryBytes +
              63) /
             64;
-        for (std::size_t line = 0; line < listLines; ++line)
-            t = memAccess(nullptr, t,
-                          binding_->tileListAddr(
-                              static_cast<std::uint32_t>(tile),
-                              static_cast<std::uint32_t>(line * 4)),
-                          false, &batch_.tilingDramLines);
+        const sim::Addr listBase = binding_->tileListAddr(
+            static_cast<std::uint32_t>(tile), 0);
+        while (listLines > 0) {
+            const std::uint32_t chunk = static_cast<std::uint32_t>(
+                std::min<std::size_t>(listLines, 128));
+            t = memAccessLines(nullptr, t, listBase, chunk, false,
+                               &batch_.tilingDramLines);
+            listLines -= chunk;
+        }
 
         StageSpan rastSpan, ezSpan, fsSpan, blendSpan, flushSpan;
         sim::Tick rastFree = t;
@@ -468,12 +505,11 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
                 mem::Cache &tc = textureCaches_[texRR];
                 if (++texRR == textureCaches_.size())
                     texRR = 0;
-                const sim::Tick texDone = memAccess(
-                    &tc, fpStart,
+                const sim::Tick texDone = textureAccess(
+                    tc, fpStart,
                     SceneBinding::texelAddr(hot.tex,
                                             quad.uv.x + 0.01f * s,
-                                            quad.uv.y),
-                    false, &batch_.rasterDramLines);
+                                            quad.uv.y));
                 fpDone = std::max(fpDone, texDone);
             }
             fp = fpDone;
@@ -645,22 +681,22 @@ TimingSimulator::simulate(const GeometryIR &ir, FrameActivity *activity)
         const std::uint64_t flushBytes =
             static_cast<std::uint64_t>(tileBox.width()) *
             static_cast<std::uint64_t>(tileBox.height()) * 4;
+        // One access per 64 B line (16 4-byte pixels); each row is
+        // contiguous, so it flushes as one batched multi-line walk.
+        // Chaining through memAccessLines is identical to the former
+        // per-access max(): every walk completes strictly after it
+        // starts, so the max was always the new completion time.
         sim::Tick flushT = tileDone;
-        for (int y = tileBox.y0; y < tileBox.y1; ++y) {
-            for (int x = tileBox.x0; x < tileBox.x1; x += 16) {
-                // one access per 64 B line (16 4-byte pixels)
-                flushT = std::max(
-                    flushT,
-                    memAccess(
-                        &tileCache_, flushT,
-                        binding_->colorAddr(config_.screenWidth,
-                                            static_cast<std::uint32_t>(
-                                                x),
-                                            static_cast<std::uint32_t>(
-                                                y)),
-                        true, &batch_.rasterDramLines));
-            }
-        }
+        const std::uint32_t rowLines = static_cast<std::uint32_t>(
+            (tileBox.width() + 15) / 16);
+        for (int y = tileBox.y0; y < tileBox.y1; ++y)
+            flushT = memAccessLines(
+                &tileCache_, flushT,
+                binding_->colorAddr(
+                    config_.screenWidth,
+                    static_cast<std::uint32_t>(tileBox.x0),
+                    static_cast<std::uint32_t>(y)),
+                rowLines, true, &batch_.rasterDramLines);
         flushSpan.cover(tileDone, flushT);
         batch_.framebufferBytes += flushBytes;
         tileDone = flushT;

@@ -1,0 +1,36 @@
+#include "mem/fastmem.hh"
+
+#include <cstdlib>
+
+namespace msim::mem
+{
+
+namespace
+{
+
+std::uint32_t
+envU32(const char *name, std::uint32_t fallback)
+{
+    if (const char *env = std::getenv(name))
+        return static_cast<std::uint32_t>(std::atoll(env));
+    return fallback;
+}
+
+} // namespace
+
+FastMemConfig
+FastMemConfig::fromEnv()
+{
+    FastMemConfig config;
+    if (const char *env = std::getenv("MEGSIM_FAST_MEM"))
+        config.enabled = env[0] != '\0' && env[0] != '0';
+    config.calibrationWalks =
+        envU32("MEGSIM_FAST_MEM_CALIB", config.calibrationWalks);
+    config.probeEvery =
+        envU32("MEGSIM_FAST_MEM_PROBE", config.probeEvery);
+    config.auditEvery =
+        envU32("MEGSIM_FAST_MEM_AUDIT", config.auditEvery);
+    return config;
+}
+
+} // namespace msim::mem

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Calibrated sampled cache model for the opt-in `--fast-mem` mode
+ * (MEGSIM_FAST_MEM): replaces most texture-walk probes of the exact
+ * L1→L2→DRAM hierarchy with a model fitted online from the walks it
+ * still performs exactly. Per frame (frames simulate cold, so the fit
+ * is per-frame and thread-count invariant):
+ *
+ *   1. the first `calibrationWalks` walks run exactly and are
+ *      observed (latency + which levels they touched);
+ *   2. after calibration every `probeEvery`-th walk stays exact — the
+ *      online re-fit as the frame streams — and the rest return the
+ *      fitted mean latency without touching the hierarchy;
+ *   3. at frame flush the modeled walk count is folded into the cache
+ *      and DRAM counters by scaling the observed hit rates
+ *      (estimates(), pure integer arithmetic, hand-checkable).
+ *
+ * The model's error is never assumed: every `auditEvery`-th frame the
+ * ground-truth pass ALSO runs the exact simulator and the campaign
+ * reports the measured exact-vs-fast deviation per metric, gated in
+ * CI by `ci/thresholds.json` (`max_exact_vs_fast_percent`). This is
+ * the online-learning template of "An Online Learning Methodology for
+ * Performance Modeling of Graphics Processors" applied to MEGsim's
+ * walk: fit from an exact prefix, refresh from periodic probes,
+ * measure — not assume — the resulting error.
+ */
+
+#ifndef MSIM_MEM_FASTMEM_HH
+#define MSIM_MEM_FASTMEM_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace msim::mem
+{
+
+struct FastMemConfig
+{
+    bool enabled = false;
+    /** Exact-walk prefix fitted at the start of every frame. */
+    std::uint32_t calibrationWalks = 512;
+    /** After calibration, 1-in-N walks stay exact (online re-fit). */
+    std::uint32_t probeEvery = 64;
+    /** 1-in-N frames also run exactly to measure exact_vs_fast. */
+    std::uint32_t auditEvery = 8;
+
+    /**
+     * MEGSIM_FAST_MEM=1 enables; MEGSIM_FAST_MEM_CALIB /
+     * MEGSIM_FAST_MEM_PROBE / MEGSIM_FAST_MEM_AUDIT override the
+     * sampling parameters.
+     */
+    static FastMemConfig fromEnv();
+};
+
+/** Per-simulator, per-frame model state. Reset at every cold start. */
+class FastMemModel
+{
+  public:
+    void
+    configure(const FastMemConfig &config)
+    {
+        config_ = config;
+        reset();
+    }
+
+    const FastMemConfig &config() const { return config_; }
+
+    /** Drop the fit (per-frame cold start). */
+    void
+    reset()
+    {
+        walkIndex_ = 0;
+        modeledWalks_ = 0;
+        obsWalks_ = 0;
+        obsL1Hits_ = 0;
+        obsL2Hits_ = 0;
+        obsDramLines_ = 0;
+        latencySum_ = 0;
+    }
+
+    /**
+     * Advance the per-frame walk counter and decide this walk's fate:
+     * true = perform it exactly (and observe() it), false = the
+     * caller may model it. Exact while calibrating, on every
+     * `probeEvery`-th walk after, and always until at least one walk
+     * has been observed (the model needs a sample to return).
+     */
+    bool
+    wantExact()
+    {
+        ++walkIndex_;
+        if (obsWalks_ == 0 || walkIndex_ <= config_.calibrationWalks)
+            return true;
+        return config_.probeEvery != 0 &&
+               walkIndex_ % config_.probeEvery == 0;
+    }
+
+    /** Record an exact walk: its latency and the levels it touched. */
+    void
+    observe(sim::Tick latency, bool l1Hit, bool l2Hit, bool dramLine)
+    {
+        ++obsWalks_;
+        latencySum_ += latency;
+        obsL1Hits_ += l1Hit ? 1 : 0;
+        obsL2Hits_ += l2Hit ? 1 : 0;
+        obsDramLines_ += dramLine ? 1 : 0;
+    }
+
+    /** Book one modeled walk (counter folded by estimates()). */
+    void noteModeled() { ++modeledWalks_; }
+
+    /** Fitted mean walk latency (integer floor; ≥ 1). */
+    sim::Tick
+    modeledLatency() const
+    {
+        if (obsWalks_ == 0)
+            return 1;
+        const sim::Tick mean = latencySum_ / obsWalks_;
+        return mean ? mean : 1;
+    }
+
+    /**
+     * Counter estimates for the modeled walks: observed hit rates
+     * scaled to the modeled population, in exact integer arithmetic
+     * (floor at each level, misses = accesses − hits throughout) so
+     * the fold is deterministic and hand-checkable.
+     */
+    struct Estimates
+    {
+        std::uint64_t l1Accesses = 0;
+        std::uint64_t l1Hits = 0;
+        std::uint64_t l2Accesses = 0;
+        std::uint64_t l2Hits = 0;
+        std::uint64_t dramLines = 0;
+    };
+    Estimates
+    estimates() const
+    {
+        Estimates e;
+        if (modeledWalks_ == 0 || obsWalks_ == 0)
+            return e;
+        e.l1Accesses = modeledWalks_;
+        e.l1Hits = modeledWalks_ * obsL1Hits_ / obsWalks_;
+        e.l2Accesses = e.l1Accesses - e.l1Hits;
+        const std::uint64_t obsL2Accesses = obsWalks_ - obsL1Hits_;
+        e.l2Hits = obsL2Accesses
+                       ? e.l2Accesses * obsL2Hits_ / obsL2Accesses
+                       : 0;
+        e.dramLines = e.l2Accesses - e.l2Hits;
+        return e;
+    }
+
+    std::uint64_t exactWalks() const { return obsWalks_; }
+    std::uint64_t modeledWalks() const { return modeledWalks_; }
+
+    /**
+     * The reported exact-vs-fast deviation: |fast − exact| as a
+     * percentage of exact, the formula the campaign applies per
+     * metric over the audited frames' sums.
+     */
+    static double
+    exactVsFastPercent(double exactSum, double fastSum)
+    {
+        if (exactSum == 0.0)
+            return fastSum == 0.0 ? 0.0 : 100.0;
+        return std::fabs(fastSum - exactSum) / exactSum * 100.0;
+    }
+
+  private:
+    FastMemConfig config_;
+    std::uint64_t walkIndex_ = 0;
+    std::uint64_t modeledWalks_ = 0;
+    std::uint64_t obsWalks_ = 0;
+    std::uint64_t obsL1Hits_ = 0;
+    std::uint64_t obsL2Hits_ = 0;
+    std::uint64_t obsDramLines_ = 0;
+    sim::Tick latencySum_ = 0;
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_FASTMEM_HH

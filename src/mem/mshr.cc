@@ -1,0 +1,145 @@
+#include "mem/mshr.hh"
+
+#include <cstdlib>
+
+namespace msim::mem
+{
+
+namespace
+{
+
+std::uint64_t
+roundUpPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+resilience::Expected<MshrConfig>
+MshrConfig::parse(const std::string &spec)
+{
+    MshrConfig config;
+    const auto bad = [&spec]() {
+        return resilience::errorf(
+            resilience::Errc::BadFormat,
+            "mshr spec '%s' is not <F|A>:<entries>:<merge>",
+            spec.c_str());
+    };
+    if (spec.size() < 2 || spec[1] != ':')
+        return bad();
+    switch (spec[0]) {
+    case 'F':
+        config.policy = Policy::TexFifo;
+        break;
+    case 'A':
+        config.policy = Policy::Assoc;
+        break;
+    default:
+        return bad();
+    }
+    const std::size_t sep = spec.find(':', 2);
+    if (sep == std::string::npos || sep == 2 ||
+        sep + 1 >= spec.size())
+        return bad();
+    for (std::size_t i = 2; i < spec.size(); ++i)
+        if (i != sep && (spec[i] < '0' || spec[i] > '9'))
+            return bad();
+    config.entries = static_cast<std::uint32_t>(
+        std::strtoul(spec.c_str() + 2, nullptr, 10));
+    config.maxMerges = static_cast<std::uint32_t>(
+        std::strtoul(spec.c_str() + sep + 1, nullptr, 10));
+    return config;
+}
+
+std::string
+MshrConfig::toString() const
+{
+    std::string s(1, policy == Policy::TexFifo ? 'F' : 'A');
+    s += ':';
+    s += std::to_string(entries);
+    s += ':';
+    s += std::to_string(maxMerges);
+    return s;
+}
+
+void
+MshrFile::configure(const MshrConfig &config)
+{
+    config_ = config;
+    slots_.clear();
+    seq_ = 0;
+    if (config_.entries == 0) {
+        mask_ = ~std::uint64_t{0};
+        return;
+    }
+    const std::uint64_t n = roundUpPow2(config_.entries);
+    slots_.assign(static_cast<std::size_t>(n), Slot{});
+    mask_ = n - 1;
+}
+
+void
+MshrFile::reset()
+{
+    for (Slot &slot : slots_)
+        slot.valid = false;
+    seq_ = 0;
+}
+
+void
+MshrFile::bindStats(obs::StatsGroup stats)
+{
+    allocations_ =
+        &stats.scalar("allocations", "walk records allocated");
+    merges_ = &stats.scalar("merges", "repeat walks merged");
+    evictions_ =
+        &stats.scalar("evictions", "live records recycled (FIFO)");
+    stalls_ =
+        &stats.scalar("stalls", "allocations refused (file full)");
+}
+
+void
+MshrFile::flushStats()
+{
+    if (!allocations_) {
+        // Unbound (unit-test) file: counters stay pending and remain
+        // visible through the accessors.
+        return;
+    }
+    if (pendAllocations_) {
+        *allocations_ += static_cast<double>(pendAllocations_);
+        pendAllocations_ = 0;
+    }
+    if (pendMerges_) {
+        *merges_ += static_cast<double>(pendMerges_);
+        pendMerges_ = 0;
+    }
+    if (pendEvictions_) {
+        *evictions_ += static_cast<double>(pendEvictions_);
+        pendEvictions_ = 0;
+    }
+    if (pendStalls_) {
+        *stalls_ += static_cast<double>(pendStalls_);
+        pendStalls_ = 0;
+    }
+}
+
+MshrFile::SlotView
+MshrFile::slot(std::uint32_t index) const
+{
+    SlotView view;
+    if (index >= slots_.size())
+        return view;
+    const Slot &s = slots_[index];
+    view.valid = s.valid;
+    view.line = s.line;
+    view.stamp = s.stamp;
+    view.seq = s.seq;
+    view.merges = s.merges;
+    return view;
+}
+
+} // namespace msim::mem

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Miss-status holding registers in front of a cache: a small file of
+ * in-flight/just-completed walk records so that repeated misses to the
+ * same line from the caches above MERGE into the one walk already
+ * performed instead of re-probing the hierarchy. Configured with the
+ * gpgpusim texture-MSHR syntax `<policy>:<entries>:<merge>` — e.g.
+ * `F:128:4` is a 128-entry texture-FIFO file merging up to 4 repeat
+ * requesters per walk; `<entries>=0` disables the file entirely.
+ *
+ * ## Why merging is bit-identical (the stamp protocol)
+ *
+ * The file never models new timing — it only elides probes that are
+ * PROVABLY side-effect-free replays. Each entry records the line a
+ * completed walk installed plus the downstream cache's state stamp
+ * (Cache::stateTick()) at completion: at that stamp the line is
+ * resident and MRU in its set. The stamp ticks on every simulated
+ * state mutation (fill, eviction, MRU flip, dirty set, invalidate) —
+ * an MRU-way READ hit is the one access that mutates nothing. So if a
+ * later fill-side probe finds a matching entry with a matching stamp,
+ * the real probe would have been exactly such an MRU-way read hit:
+ * same latency, same counters, zero state change. The simulator skips
+ * it and bumps the counters via Cache::noteMergedHit(). Any mismatch
+ * falls through to the real probe, which is always correct.
+ *
+ * Counters are pend-batched like mem::Cache and flush into an
+ * `<prefix>.mshr` stats group once per frame.
+ */
+
+#ifndef MSIM_MEM_MSHR_HH
+#define MSIM_MEM_MSHR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "resilience/expected.hh"
+
+namespace msim::mem
+{
+
+struct MshrConfig
+{
+    enum class Policy : std::uint8_t {
+        TexFifo, // 'F': a conflicting allocation recycles the slot
+        Assoc,   // 'A': a conflicting live slot refuses (full stall)
+    };
+
+    Policy policy = Policy::TexFifo;
+    std::uint32_t entries = 0;  // 0 disables; rounded up to pow2
+    std::uint32_t maxMerges = 0; // merged requesters/walk (0 = no cap)
+
+    bool enabled() const { return entries != 0; }
+
+    /** Parse the gpgpusim-style spec `<F|A>:<entries>:<merge>`. */
+    static resilience::Expected<MshrConfig>
+    parse(const std::string &spec);
+
+    std::string toString() const;
+};
+
+class MshrFile
+{
+  public:
+    MshrFile() = default;
+    explicit MshrFile(const MshrConfig &config) { configure(config); }
+
+    /** (Re)size the file; drops entries, keeps pending counters. */
+    void configure(const MshrConfig &config);
+
+    const MshrConfig &config() const { return config_; }
+    bool enabled() const { return !slots_.empty(); }
+
+    /**
+     * Record a completed walk: @p line is resident and MRU downstream
+     * at state stamp @p stamp. TexFifo recycles a conflicting live
+     * slot (counted as an eviction); Assoc refuses while the resident
+     * entry is still live (counted as a full-MSHR stall).
+     */
+    void
+    noteWalk(std::uint64_t line, std::uint64_t stamp)
+    {
+        if (slots_.empty())
+            return;
+        Slot &slot = slots_[line & mask_];
+        if (slot.valid && slot.line != line && slot.stamp == stamp) {
+            if (config_.policy == MshrConfig::Policy::Assoc) {
+                ++pendStalls_;
+                return;
+            }
+            ++pendEvictions_;
+        }
+        slot.line = line;
+        slot.stamp = stamp;
+        slot.seq = seq_++;
+        slot.merges = 0;
+        slot.valid = true;
+        ++pendAllocations_;
+    }
+
+    /**
+     * Would a fill-side probe of @p line at downstream state @p stamp
+     * replay the recorded walk? True consumes one merge credit; false
+     * means the caller must perform the real probe (stale entry, other
+     * line, or merge cap reached).
+     */
+    bool
+    tryMerge(std::uint64_t line, std::uint64_t stamp)
+    {
+        if (slots_.empty())
+            return false;
+        Slot &slot = slots_[line & mask_];
+        if (!slot.valid || slot.line != line || slot.stamp != stamp)
+            return false;
+        if (config_.maxMerges && slot.merges >= config_.maxMerges)
+            return false;
+        ++slot.merges;
+        ++pendMerges_;
+        return true;
+    }
+
+    /** Drop all entries (per-frame cold start). Keeps counters. */
+    void reset();
+
+    /** Register the allocation/merge/eviction/stall counters. */
+    void bindStats(obs::StatsGroup stats);
+
+    /** Publish pending counter deltas (once per frame). */
+    void flushStats();
+
+    std::uint64_t allocations() const
+    {
+        return scalarValue(allocations_) + pendAllocations_;
+    }
+    std::uint64_t merges() const
+    {
+        return scalarValue(merges_) + pendMerges_;
+    }
+    std::uint64_t evictions() const
+    {
+        return scalarValue(evictions_) + pendEvictions_;
+    }
+    std::uint64_t stalls() const
+    {
+        return scalarValue(stalls_) + pendStalls_;
+    }
+
+    /** Test/introspection view of one slot (FIFO order via seq). */
+    struct SlotView
+    {
+        bool valid = false;
+        std::uint64_t line = 0;
+        std::uint64_t stamp = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t merges = 0;
+    };
+    std::uint32_t numSlots() const
+    {
+        return static_cast<std::uint32_t>(slots_.size());
+    }
+    SlotView slot(std::uint32_t index) const;
+
+  private:
+    struct Slot
+    {
+        std::uint64_t line = 0;
+        std::uint64_t stamp = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t merges = 0;
+        bool valid = false;
+    };
+
+    static std::uint64_t scalarValue(const obs::Scalar *s)
+    {
+        return s ? static_cast<std::uint64_t>(s->value()) : 0;
+    }
+
+    MshrConfig config_;
+    std::vector<Slot> slots_;   // pow2, direct-mapped by line
+    std::uint64_t mask_ = ~std::uint64_t{0}; // slots-1 when enabled
+    std::uint64_t seq_ = 0;     // allocation order (texture FIFO)
+
+    // Deferred counter deltas (see flushStats()).
+    std::uint64_t pendAllocations_ = 0;
+    std::uint64_t pendMerges_ = 0;
+    std::uint64_t pendEvictions_ = 0;
+    std::uint64_t pendStalls_ = 0;
+
+    obs::Scalar *allocations_ = nullptr;
+    obs::Scalar *merges_ = nullptr;
+    obs::Scalar *evictions_ = nullptr;
+    obs::Scalar *stalls_ = nullptr;
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_MSHR_HH

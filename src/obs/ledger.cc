@@ -49,6 +49,7 @@ constexpr FieldSpec kRunStartFields[] = {
     {"benches", FieldKind::StrArr, false},
     {"fingerprint", FieldKind::Str, false},
     {"env", FieldKind::StrMap, false},
+    {"mem_mode", FieldKind::Str, false},
 };
 
 constexpr FieldSpec kCacheFields[] = {
@@ -72,6 +73,9 @@ constexpr FieldSpec kBenchFields[] = {
     {"wall_seconds", FieldKind::Num, false},
     {"cache_status", FieldKind::Str, false},
     {"error", FieldKind::NumMap, false},
+    {"mem_mode", FieldKind::Str, false},
+    {"exact_vs_fast", FieldKind::NumMap, false},
+    {"audited_frames", FieldKind::Num, false},
 };
 
 constexpr FieldSpec kAttribFields[] = {

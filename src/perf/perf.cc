@@ -60,6 +60,7 @@ PerfReport::toJson() const
     root.set("frame_limit", frameLimit);
     root.set("scale", scale);
     root.set("gpu_profile", baseline ? "baseline" : "evaluation");
+    root.set("mem_mode", memMode);
 
     util::Json rows = util::Json::array();
     for (const BenchPerf &b : benches) {
@@ -117,6 +118,9 @@ PerfReport::fromJson(const util::Json &json)
         return v.error();
     if (const util::Json *profile = json.find("gpu_profile"))
         report.baseline = profile->asString() == "baseline";
+    // Optional: pre-fast-mem baselines carry no mode and were exact.
+    if (const util::Json *mode = json.find("mem_mode"))
+        report.memMode = mode->asString();
 
     const util::Json *rows = json.find("benchmarks");
     if (!rows || !rows->isArray())
@@ -203,10 +207,12 @@ runHotpath(const PerfOptions &options)
     report.frameLimit = frames;
     report.scale = options.scale;
     report.baseline = options.baseline;
+    report.memMode = options.fastMem.enabled ? "fast" : "exact";
 
-    const gpusim::GpuConfig config =
+    gpusim::GpuConfig config =
         options.baseline ? gpusim::GpuConfig::baseline()
                          : gpusim::GpuConfig::evaluationScaled();
+    config.fastMem = options.fastMem;
 
     // Attribution window over the whole harness: the simulator's own
     // scopes (geometry/raster/shade/memwalk) claim the hot loop, the
@@ -264,31 +270,42 @@ runHotpath(const PerfOptions &options)
     return report;
 }
 
-std::vector<std::string>
-compareReports(const PerfReport &current, const PerfReport &baseline,
-               double bandPercent)
+std::vector<PerfDelta>
+comparePerfDeltas(const PerfReport &current,
+                  const PerfReport &baseline, double bandPercent)
 {
-    std::vector<std::string> warnings;
-    char line[192];
+    std::vector<PerfDelta> deltas;
     auto check = [&](const std::string &what, double cur,
                      double base) {
         if (base <= 0.0)
             return;
         const double deltaPercent = (cur - base) / base * 100.0;
-        if (deltaPercent < -bandPercent || deltaPercent > bandPercent) {
-            std::snprintf(line, sizeof(line),
-                          "%s: %.1f frames/sec vs baseline %.1f "
-                          "(%+.1f%%, band +-%.0f%%)",
-                          what.c_str(), cur, base, deltaPercent,
-                          bandPercent);
-            warnings.emplace_back(line);
-        }
+        if (deltaPercent < -bandPercent || deltaPercent > bandPercent)
+            deltas.push_back({what, cur, base, deltaPercent});
     };
     for (const BenchPerf &cur : current.benches)
         for (const BenchPerf &base : baseline.benches)
             if (cur.alias == base.alias)
                 check(cur.alias, cur.framesPerSec, base.framesPerSec);
     check("suite", current.framesPerSec, baseline.framesPerSec);
+    return deltas;
+}
+
+std::vector<std::string>
+compareReports(const PerfReport &current, const PerfReport &baseline,
+               double bandPercent)
+{
+    std::vector<std::string> warnings;
+    char line[192];
+    for (const PerfDelta &d :
+         comparePerfDeltas(current, baseline, bandPercent)) {
+        std::snprintf(line, sizeof(line),
+                      "%s: %.1f frames/sec vs baseline %.1f "
+                      "(%+.1f%%, band +-%.0f%%)",
+                      d.what.c_str(), d.current, d.baseline,
+                      d.deltaPercent, bandPercent);
+        warnings.emplace_back(line);
+    }
     return warnings;
 }
 

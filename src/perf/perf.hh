@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/fastmem.hh"
 #include "resilience/expected.hh"
 #include "util/json.hh"
 
@@ -55,6 +56,13 @@ struct PerfReport
     std::size_t frameLimit = 0; // 0 = full sequences
     double scale = 1.0;
     bool baseline = false;      // Table I GPU instead of eval profile
+    /**
+     * "exact" or "fast": which memory model the run used. Optional on
+     * load (pre-fast-mem baselines were always exact), but strict
+     * comparisons refuse to gate across modes — a fast-mem point is a
+     * separate trajectory, not a speedup of the exact one.
+     */
+    std::string memMode = "exact";
 
     std::vector<BenchPerf> benches;
     std::vector<PhaseSplit> phases;
@@ -85,16 +93,36 @@ struct PerfOptions
     std::size_t frames = 0;
     double scale = 1.0;
     bool baseline = false;
+    /** Run the timing simulators with the calibrated fast-mem model. */
+    mem::FastMemConfig fastMem;
 };
 
 /** Run the hot-path microbench and assemble the report. */
 resilience::Expected<PerfReport> runHotpath(const PerfOptions &options);
 
 /**
- * Warn-only comparison: human-readable messages for every benchmark
- * (and the suite) whose frames/sec deviates from @p baseline by more
- * than @p bandPercent. Empty = within the band.
+ * One out-of-band frames/sec deviation between two perf reports —
+ * the structured form both the warn-only and the strict (--strict,
+ * exit 10) comparison paths consume. deltaPercent < 0 is a
+ * regression, > 0 an improvement beyond the band.
  */
+struct PerfDelta
+{
+    std::string what; // benchmark alias or "suite"
+    double current = 0.0;
+    double baseline = 0.0;
+    double deltaPercent = 0.0;
+};
+
+/**
+ * Every benchmark (and the suite) whose frames/sec deviates from
+ * @p baseline by more than @p bandPercent. Empty = within the band.
+ */
+std::vector<PerfDelta> comparePerfDeltas(const PerfReport &current,
+                                         const PerfReport &baseline,
+                                         double bandPercent);
+
+/** comparePerfDeltas() rendered as ready-to-print warning lines. */
 std::vector<std::string> compareReports(const PerfReport &current,
                                         const PerfReport &baseline,
                                         double bandPercent);

@@ -141,12 +141,11 @@ ServeReport::load(const std::string &path)
     return fromJson(*json);
 }
 
-std::vector<std::string>
-compareServeReports(const ServeReport &current,
-                    const ServeReport &baseline, double bandPercent)
+std::vector<ServeDelta>
+compareServeDeltas(const ServeReport &current,
+                   const ServeReport &baseline, double bandPercent)
 {
-    std::vector<std::string> lines;
-    char buf[192];
+    std::vector<ServeDelta> deltas;
     auto match = [&](const ServeLoadPoint &p)
         -> const ServeLoadPoint * {
         for (const ServeLoadPoint &b : baseline.points)
@@ -158,10 +157,8 @@ compareServeReports(const ServeReport &current,
     for (const ServeLoadPoint &p : current.points) {
         const ServeLoadPoint *b = match(p);
         if (!b) {
-            std::snprintf(buf, sizeof(buf),
-                          "%s: no baseline point",
-                          pointLabel(p).c_str());
-            lines.push_back(buf);
+            deltas.push_back(
+                {pointLabel(p), p.requestsPerSec, 0.0, 0.0, true});
             continue;
         }
         if (b->requestsPerSec <= 0.0)
@@ -169,29 +166,48 @@ compareServeReports(const ServeReport &current,
         const double deviation =
             (p.requestsPerSec - b->requestsPerSec) /
             b->requestsPerSec * 100.0;
-        if (std::fabs(deviation) > bandPercent) {
-            std::snprintf(
-                buf, sizeof(buf),
-                "%s: %.3f req/s vs baseline %.3f (%+.1f%%, band "
-                "±%.0f%%)",
-                pointLabel(p).c_str(), p.requestsPerSec,
-                b->requestsPerSec, deviation, bandPercent);
-            lines.push_back(buf);
-        }
+        if (std::fabs(deviation) > bandPercent)
+            deltas.push_back({pointLabel(p), p.requestsPerSec,
+                              b->requestsPerSec, deviation, false});
     }
     if (baseline.fairSpeedup > 0.0 && current.fairSpeedup > 0.0) {
         const double deviation =
             (current.fairSpeedup - baseline.fairSpeedup) /
             baseline.fairSpeedup * 100.0;
-        if (std::fabs(deviation) > bandPercent) {
+        if (std::fabs(deviation) > bandPercent)
+            deltas.push_back({"fair speedup", current.fairSpeedup,
+                              baseline.fairSpeedup, deviation,
+                              false});
+    }
+    return deltas;
+}
+
+std::vector<std::string>
+compareServeReports(const ServeReport &current,
+                    const ServeReport &baseline, double bandPercent)
+{
+    std::vector<std::string> lines;
+    char buf[192];
+    for (const ServeDelta &d :
+         compareServeDeltas(current, baseline, bandPercent)) {
+        if (d.missingBaseline) {
+            std::snprintf(buf, sizeof(buf), "%s: no baseline point",
+                          d.what.c_str());
+        } else if (d.what == "fair speedup") {
             std::snprintf(
                 buf, sizeof(buf),
                 "fair speedup: %.2fx vs baseline %.2fx (%+.1f%%, "
                 "band ±%.0f%%)",
-                current.fairSpeedup, baseline.fairSpeedup,
-                deviation, bandPercent);
-            lines.push_back(buf);
+                d.current, d.baseline, d.deltaPercent, bandPercent);
+        } else {
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s: %.3f req/s vs baseline %.3f (%+.1f%%, band "
+                "±%.0f%%)",
+                d.what.c_str(), d.current, d.baseline,
+                d.deltaPercent, bandPercent);
         }
+        lines.push_back(buf);
     }
     return lines;
 }

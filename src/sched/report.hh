@@ -63,12 +63,31 @@ struct ServeReport
 };
 
 /**
- * Warn-only comparison: a message for every matrix point (matched by
- * workers×requests×policy) whose requests/s deviates from @p baseline
- * by more than @p bandPercent, plus one for the fair speedup. Points
- * present on only one side are reported, not failed. Empty = within
- * the band.
+ * One out-of-band deviation between two serve reports — the
+ * structured form both the warn-only and the strict (--strict,
+ * exit 10) comparison paths consume. A point with missingBaseline set
+ * carries no delta and is informational only: matrix points present
+ * on one side never fail a gate.
  */
+struct ServeDelta
+{
+    std::string what; // point label or "fair speedup"
+    double current = 0.0;
+    double baseline = 0.0;
+    double deltaPercent = 0.0;
+    bool missingBaseline = false;
+};
+
+/**
+ * Every matrix point (matched by workers×requests×policy) whose
+ * requests/s deviates from @p baseline by more than @p bandPercent,
+ * plus the fair speedup. Empty = within the band.
+ */
+std::vector<ServeDelta> compareServeDeltas(const ServeReport &current,
+                                           const ServeReport &baseline,
+                                           double bandPercent);
+
+/** compareServeDeltas() rendered as ready-to-print warning lines. */
 std::vector<std::string> compareServeReports(
     const ServeReport &current, const ServeReport &baseline,
     double bandPercent);

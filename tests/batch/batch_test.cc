@@ -439,3 +439,142 @@ TEST_F(BatchTest, CanonicalReportMatchesGoldenAtEveryThreadCount)
         EXPECT_EQ(runAt(threads), expected)
             << "campaign report diverged at " << threads << " threads";
 }
+
+TEST_F(BatchTest, FastMemColumnsRoundTripAndV1ReportsLoadAsExact)
+{
+    batch::CampaignReport report;
+    report.memMode = "fast";
+    batch::BenchmarkReport b;
+    b.alias = "hcr";
+    b.frames = 48;
+    b.chosenK = 9;
+    b.representatives = 9;
+    b.reduction = 5.3;
+    b.wallSeconds = 1.0;
+    b.cacheStatus = "built";
+    b.memMode = "fast";
+    b.hasExactVsFast = true;
+    b.auditedFrames = 6;
+    for (std::size_t m = 0; m < batch::kNumMetrics; ++m)
+        b.exactVsFast[m] = 1.5 * static_cast<double>(m + 1);
+    report.benchmarks.push_back(b);
+    report.computeAggregates();
+    ASSERT_TRUE(report.save(path("fast.json")).ok());
+
+    auto loaded = batch::CampaignReport::load(path("fast.json"));
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    EXPECT_EQ(loaded->memMode, "fast");
+    ASSERT_EQ(loaded->benchmarks.size(), 1u);
+    const batch::BenchmarkReport &row = loaded->benchmarks[0];
+    EXPECT_EQ(row.memMode, "fast");
+    ASSERT_TRUE(row.hasExactVsFast);
+    EXPECT_EQ(row.auditedFrames, 6u);
+    for (std::size_t m = 0; m < batch::kNumMetrics; ++m)
+        EXPECT_EQ(row.exactVsFast[m], b.exactVsFast[m]);
+
+    // A v1 report (pre-fast-mem schema tag, no mem_mode, no audit
+    // column) must load with every new field at its exact default —
+    // committed baselines keep gating without regeneration.
+    std::string text = util::Json(report.toJson()).dump();
+    const std::string v2tag = batch::CampaignReport::kSchema;
+    const std::size_t at = text.find(v2tag);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, v2tag.size(), batch::CampaignReport::kSchemaV1);
+    // Strip the v2-only keys the way a v1 writer never emits them.
+    auto strip = [&](const std::string &needle) {
+        for (std::size_t pos = text.find(needle);
+             pos != std::string::npos; pos = text.find(needle)) {
+            const std::size_t end = text.find("\n", pos);
+            ASSERT_NE(end, std::string::npos);
+            std::size_t begin = text.rfind("\n", pos);
+            ASSERT_NE(begin, std::string::npos);
+            text.erase(begin, end - begin);
+        }
+    };
+    strip("\"mem_mode\"");
+    std::ofstream(path("v1.json")) << text;
+
+    auto legacy = batch::CampaignReport::load(path("v1.json"));
+    ASSERT_TRUE(legacy.ok()) << legacy.error().message;
+    EXPECT_EQ(legacy->memMode, "exact");
+    ASSERT_EQ(legacy->benchmarks.size(), 1u);
+    EXPECT_EQ(legacy->benchmarks[0].memMode, "exact");
+    // exact_vs_fast survived the strip (only mem_mode was removed),
+    // proving a v1 *schema tag* alone never rejects.
+    EXPECT_TRUE(legacy->benchmarks[0].hasExactVsFast);
+}
+
+TEST_F(BatchTest, ExactVsFastThresholdGatesOnlyAuditedRows)
+{
+    batch::CampaignReport report;
+    batch::BenchmarkReport audited;
+    audited.alias = "hcr";
+    audited.frames = 48;
+    audited.chosenK = 9;
+    audited.representatives = 9;
+    audited.reduction = 5.0;
+    audited.hasExactVsFast = true;
+    audited.exactVsFast[0] = 7.5; // cycles model error
+    report.benchmarks.push_back(audited);
+
+    batch::BenchmarkReport exact;
+    exact.alias = "jjo";
+    exact.frames = 48;
+    exact.chosenK = 3;
+    exact.representatives = 3;
+    exact.reduction = 16.0;
+    exact.errorPercent[0] = 50.0; // would breach if it were audited
+    report.benchmarks.push_back(exact);
+    report.computeAggregates();
+
+    batch::Thresholds limits;
+    limits.maxExactVsFastPercent[0] = 5.0;
+    const std::vector<std::string> violations =
+        batch::checkThresholds(report, limits);
+    ASSERT_EQ(violations.size(), 1u)
+        << "rows without an audit column must not gate";
+    EXPECT_NE(violations[0].find("hcr"), std::string::npos);
+    EXPECT_NE(violations[0].find("exact-vs-fast"), std::string::npos);
+
+    limits.maxExactVsFastPercent[0] = 10.0;
+    EXPECT_TRUE(batch::checkThresholds(report, limits).empty());
+}
+
+TEST_F(BatchTest, DiffFlagsMemModeAndAuditDeviations)
+{
+    batch::CampaignReport a;
+    batch::BenchmarkReport row;
+    row.alias = "hcr";
+    row.frames = 48;
+    row.chosenK = 9;
+    row.representatives = 9;
+    row.reduction = 5.0;
+    a.benchmarks.push_back(row);
+    a.computeAggregates();
+
+    batch::CampaignReport b = a;
+    EXPECT_TRUE(batch::diffReports(a, b).empty());
+
+    // Mode mismatch is a real diff (an exact report is not a fast
+    // report even when the numbers agree).
+    b.benchmarks[0].memMode = "fast";
+    const std::vector<std::string> modeDiff = batch::diffReports(a, b);
+    ASSERT_EQ(modeDiff.size(), 1u);
+    EXPECT_NE(modeDiff[0].find("mem_mode"), std::string::npos);
+    b.benchmarks[0].memMode = "exact";
+
+    // The audit column compares only when both sides carry it, so a
+    // fast report diffs clean against its v1-loaded twin ...
+    a.benchmarks[0].hasExactVsFast = true;
+    a.benchmarks[0].exactVsFast[0] = 3.0;
+    EXPECT_TRUE(batch::diffReports(a, b).empty());
+
+    // ... and flags real deviations when both are audited.
+    b.benchmarks[0].hasExactVsFast = true;
+    b.benchmarks[0].exactVsFast[0] = 4.0;
+    const std::vector<std::string> auditDiff =
+        batch::diffReports(a, b);
+    ASSERT_EQ(auditDiff.size(), 1u);
+    EXPECT_NE(auditDiff[0].find("exact_vs_fast.cycles"),
+              std::string::npos);
+}

@@ -13,6 +13,7 @@
 #include <sys/wait.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -44,12 +45,15 @@ tempDir()
 
 /**
  * Run the CLI with @p args under a bounded frame limit and a cache
- * dir inside the scratch dir; returns the CLI's exit code.
+ * dir inside the scratch dir; returns the CLI's exit code. @p extraEnv
+ * is prepended as additional VAR=VALUE assignments.
  */
 int
-runCli(const std::string &args, const std::filesystem::path &log)
+runCli(const std::string &args, const std::filesystem::path &log,
+       const std::string &extraEnv = "")
 {
     const std::string cmd =
+        extraEnv + (extraEnv.empty() ? "" : " ") +
         "MEGSIM_FRAME_LIMIT=6 MEGSIM_CACHE_DIR=" +
         (tempDir() / "cache").string() + " " + cliPath + " " + args +
         " > " + log.string() + " 2>&1";
@@ -72,7 +76,7 @@ TEST(CampaignCli, WritesVersionedReportAndExitsZero)
 
     const std::string text = slurp(json);
     ASSERT_FALSE(text.empty());
-    EXPECT_NE(text.find("\"schema\": \"megsim-campaign-v1\""),
+    EXPECT_NE(text.find("\"schema\": \"megsim-campaign-v2\""),
               std::string::npos);
     EXPECT_NE(text.find("\"alias\": \"hcr\""), std::string::npos);
     EXPECT_NE(text.find("\"alias\": \"jjo\""), std::string::npos);
@@ -291,4 +295,172 @@ main(int argc, char **argv)
     }
     ::testing::InitGoogleTest(&argc, argv);
     return RUN_ALL_TESTS();
+}
+
+TEST(CampaignCli, FastMemReportsFastModeWithAuditColumn)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path json = dir / "fast.json";
+    const std::filesystem::path log = dir / "fast.log";
+
+    // Audit every frame and calibrate on a short prefix so the tiny
+    // 6-frame run both models walks and measures its error.
+    const int rc = runCli("campaign --benches hcr --fast-mem --out " +
+                              json.string() +
+                              " --ledger " + (dir / "f.jsonl").string(),
+                          log, "MEGSIM_FAST_MEM_AUDIT=1"
+                               " MEGSIM_FAST_MEM_CALIB=64"
+                               " MEGSIM_FAST_MEM_PROBE=16");
+    ASSERT_EQ(rc, 0) << slurp(log);
+
+    const std::string text = slurp(json);
+    EXPECT_NE(text.find("\"mem_mode\": \"fast\""), std::string::npos);
+    EXPECT_NE(text.find("\"exact_vs_fast\""), std::string::npos);
+    EXPECT_NE(text.find("\"audited_frames\""), std::string::npos);
+    EXPECT_NE(slurp(log).find("exact_vs_fast"), std::string::npos);
+
+    // The ledger stays schema-valid with the new bench fields.
+    const std::filesystem::path vlog = dir / "validate.log";
+    EXPECT_EQ(runCli("ledger --validate " + (dir / "f.jsonl").string(),
+                     vlog),
+              0)
+        << slurp(vlog);
+}
+
+TEST(CampaignCli, FastMemRefusesSupervisedWorkers)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path log = dir / "refuse.log";
+    const int rc = runCli("campaign --benches hcr --fast-mem"
+                          " --workers 2 --out " +
+                              (dir / "r.json").string(),
+                          log);
+    EXPECT_EQ(rc, 2) << slurp(log);
+    EXPECT_NE(slurp(log).find("incompatible with --workers"),
+              std::string::npos);
+}
+
+TEST(CampaignCli, ExactVsFastBreachExitsFive)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path limits = dir / "audit-limits.json";
+    // An impossible model-accuracy demand: any measured error breaches.
+    std::ofstream(limits)
+        << "{\"schema\": \"megsim-thresholds-v1\",\n"
+           " \"max_exact_vs_fast_percent\": {\"cycles\": 0.0}}\n";
+
+    const std::filesystem::path log = dir / "breach.log";
+    const int rc = runCli("campaign --benches hcr --fast-mem --out " +
+                              (dir / "b.json").string() + " --check " +
+                              limits.string(),
+                          log, "MEGSIM_FAST_MEM_AUDIT=1"
+                               " MEGSIM_FAST_MEM_CALIB=64"
+                               " MEGSIM_FAST_MEM_PROBE=16");
+    EXPECT_EQ(rc, 5) << slurp(log);
+    EXPECT_NE(slurp(log).find("exact-vs-fast"), std::string::npos);
+}
+
+TEST(CampaignCli, StrictPerfRegressionExitsTen)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path base = dir / "perf-base.json";
+    const std::filesystem::path out = dir / "perf-out.json";
+
+    // Real run first, then gate a doctored baseline against it.
+    const std::filesystem::path log = dir / "perf.log";
+    ASSERT_EQ(runCli("perf --benches hcr --frames 2 --out " +
+                         base.string(),
+                     log),
+              0)
+        << slurp(log);
+
+    // Inflate the baseline's throughput 100x: the fresh run must look
+    // like a >band regression and --strict must exit 10.
+    std::string text = slurp(base);
+    for (const char *field :
+         {"\"frames_per_sec\": ", "\"mcycles_per_sec\": "}) {
+        for (std::size_t pos = text.find(field);
+             pos != std::string::npos;
+             pos = text.find(field, pos + 1)) {
+            text.insert(pos + std::strlen(field), "99999");
+        }
+    }
+    std::ofstream(base, std::ios::trunc) << text;
+
+    const std::filesystem::path slog = dir / "strict.log";
+    EXPECT_EQ(runCli("perf --benches hcr --frames 2 --out " +
+                         out.string() + " --compare " + base.string() +
+                         " --strict",
+                     slog),
+              10)
+        << slurp(slog);
+    EXPECT_NE(slurp(slog).find("regression beyond"),
+              std::string::npos);
+
+    // Warn-only without --strict: same comparison, exit 0.
+    const std::filesystem::path wlog = dir / "warn.log";
+    EXPECT_EQ(runCli("perf --benches hcr --frames 2 --out " +
+                         out.string() + " --compare " + base.string(),
+                     wlog),
+              0)
+        << slurp(wlog);
+
+    // An improvement beyond the band (baseline deflated instead)
+    // passes strict but prints the baseline-refresh instruction. The
+    // loader recomputes the suite rate from per-bench wall_seconds,
+    // so those get inflated alongside deflating the stored rates.
+    std::string deflated = slurp(out);
+    auto replaceValues = [&deflated](const char *field,
+                                     const char *value) {
+        for (std::size_t pos = deflated.find(field);
+             pos != std::string::npos;
+             pos = deflated.find(field, pos + 1)) {
+            const std::size_t begin = pos + std::strlen(field);
+            std::size_t end = begin;
+            while (end < deflated.size() && deflated[end] != ',' &&
+                   deflated[end] != '\n')
+                ++end;
+            deflated.replace(begin, end - begin, value);
+        }
+    };
+    replaceValues("\"frames_per_sec\": ", "0.001");
+    replaceValues("\"mcycles_per_sec\": ", "0.001");
+    replaceValues("\"wall_seconds\": ", "99999.0");
+    std::ofstream(base, std::ios::trunc) << deflated;
+    const std::filesystem::path ilog = dir / "improve.log";
+    EXPECT_EQ(runCli("perf --benches hcr --frames 2 --out " +
+                         out.string() + " --compare " + base.string() +
+                         " --strict",
+                     ilog),
+              0)
+        << slurp(ilog);
+    EXPECT_NE(slurp(ilog).find("refresh the committed baseline"),
+              std::string::npos);
+}
+
+TEST(CampaignCli, StrictRefusesCrossModeComparison)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path base = dir / "exact-base.json";
+    const std::filesystem::path log = dir / "mode.log";
+    ASSERT_EQ(runCli("perf --benches hcr --frames 2 --out " +
+                         base.string(),
+                     log),
+              0)
+        << slurp(log);
+
+    const std::filesystem::path slog = dir / "cross.log";
+    EXPECT_EQ(runCli("perf --benches hcr --frames 2 --fast-mem"
+                     " --out " +
+                         (dir / "fast-out.json").string() +
+                         " --compare " + base.string() + " --strict",
+                     slog),
+              2)
+        << slurp(slog);
+    EXPECT_NE(slurp(slog).find("mem_mode"), std::string::npos);
 }

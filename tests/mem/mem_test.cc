@@ -2,6 +2,8 @@
 
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/fastmem.hh"
+#include "mem/mshr.hh"
 #include "obs/stats.hh"
 
 using namespace msim;
@@ -170,4 +172,279 @@ TEST(Dram, ChannelBandwidthSerializesBursts)
     const sim::Tick b = dram.access(0, config.rowBytes, false);
     const sim::Tick burst = config.lineBytes / config.bytesPerCycle;
     EXPECT_GE(b, a + burst);
+}
+
+// ---------------------------------------------------------------------
+// MSHR miss-merging (mem/mshr.hh): the stamp protocol that keeps the
+// default mode bit-identical, the texture-FIFO slot recycling, and the
+// merge-cap / full-file semantics.
+
+TEST(MshrConfig, ParsesGpgpusimTextureSyntax)
+{
+    auto f = MshrConfig::parse("F:128:4");
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(f->policy, MshrConfig::Policy::TexFifo);
+    EXPECT_EQ(f->entries, 128u);
+    EXPECT_EQ(f->maxMerges, 4u);
+    EXPECT_TRUE(f->enabled());
+    EXPECT_EQ(f->toString(), "F:128:4");
+
+    auto a = MshrConfig::parse("A:16:0");
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a->policy, MshrConfig::Policy::Assoc);
+    EXPECT_EQ(a->maxMerges, 0u) << "0 = uncapped merges";
+
+    auto off = MshrConfig::parse("F:0:4");
+    ASSERT_TRUE(off.ok());
+    EXPECT_FALSE(off->enabled()) << "<entries>=0 disables the file";
+
+    EXPECT_FALSE(MshrConfig::parse("").ok());
+    EXPECT_FALSE(MshrConfig::parse("X:128:4").ok());
+    EXPECT_FALSE(MshrConfig::parse("F:128").ok());
+    EXPECT_FALSE(MshrConfig::parse("F:nope:4").ok());
+}
+
+TEST(Mshr, SameLineMergesCollapseToOneWalk)
+{
+    MshrFile mshr(MshrConfig{MshrConfig::Policy::TexFifo, 8, 0});
+    // One completed walk of line 7 at downstream stamp 42 ...
+    mshr.noteWalk(7, 42);
+    // ... absorbs any number of repeat requesters at that stamp.
+    EXPECT_TRUE(mshr.tryMerge(7, 42));
+    EXPECT_TRUE(mshr.tryMerge(7, 42));
+    EXPECT_TRUE(mshr.tryMerge(7, 42));
+    EXPECT_EQ(mshr.allocations(), 1u);
+    EXPECT_EQ(mshr.merges(), 3u);
+    // A different line or a moved stamp must fall through to the
+    // real probe: the recorded walk no longer proves anything.
+    EXPECT_FALSE(mshr.tryMerge(6, 42));
+    EXPECT_FALSE(mshr.tryMerge(7, 43)) << "stale stamp must refuse";
+}
+
+TEST(Mshr, MergeCapBoundsRepeatRequesters)
+{
+    MshrFile mshr(MshrConfig{MshrConfig::Policy::TexFifo, 8, 2});
+    mshr.noteWalk(3, 1);
+    EXPECT_TRUE(mshr.tryMerge(3, 1));
+    EXPECT_TRUE(mshr.tryMerge(3, 1));
+    EXPECT_FALSE(mshr.tryMerge(3, 1)) << "merge credit exhausted";
+    // A fresh walk of the same line re-arms the credit.
+    mshr.noteWalk(3, 1);
+    EXPECT_TRUE(mshr.tryMerge(3, 1));
+}
+
+TEST(Mshr, TexFifoRecyclesConflictingSlotAssocStalls)
+{
+    // 4 slots, direct-mapped by line: lines 1 and 5 collide.
+    MshrFile fifo(MshrConfig{MshrConfig::Policy::TexFifo, 4, 0});
+    fifo.noteWalk(1, 9);
+    fifo.noteWalk(5, 9); // texture FIFO: recycle the live slot
+    EXPECT_EQ(fifo.evictions(), 1u);
+    EXPECT_EQ(fifo.stalls(), 0u);
+    EXPECT_FALSE(fifo.tryMerge(1, 9)) << "line 1 was recycled";
+    EXPECT_TRUE(fifo.tryMerge(5, 9));
+
+    MshrFile assoc(MshrConfig{MshrConfig::Policy::Assoc, 4, 0});
+    assoc.noteWalk(1, 9);
+    assoc.noteWalk(5, 9); // assoc: refuse while the entry is live
+    EXPECT_EQ(assoc.stalls(), 1u);
+    EXPECT_EQ(assoc.evictions(), 0u);
+    EXPECT_TRUE(assoc.tryMerge(1, 9)) << "resident entry survives";
+    EXPECT_FALSE(assoc.tryMerge(5, 9));
+    // Once the resident entry goes stale (stamp moved on), the same
+    // conflicting allocation succeeds.
+    assoc.noteWalk(5, 10);
+    EXPECT_TRUE(assoc.tryMerge(5, 10));
+}
+
+TEST(Mshr, EntriesKeepTextureFifoAllocationOrder)
+{
+    MshrFile mshr(MshrConfig{MshrConfig::Policy::TexFifo, 4, 0});
+    mshr.noteWalk(0, 1);
+    mshr.noteWalk(1, 1);
+    mshr.noteWalk(2, 1);
+    // seq must record strict allocation order across slots — the
+    // texture-FIFO age that slot recycling is keyed on.
+    std::uint64_t lastSeq = 0;
+    for (std::uint32_t line = 0; line < 3; ++line) {
+        const MshrFile::SlotView v = mshr.slot(line);
+        ASSERT_TRUE(v.valid);
+        EXPECT_EQ(v.line, line);
+        if (line > 0)
+            EXPECT_GT(v.seq, lastSeq);
+        lastSeq = v.seq;
+    }
+    // reset() drops entries (cold start) but keeps counters.
+    mshr.reset();
+    EXPECT_FALSE(mshr.slot(0).valid);
+    EXPECT_EQ(mshr.allocations(), 3u);
+}
+
+TEST(Mshr, StampEqualityProvesMruReadHit)
+{
+    // The full protocol against a real 2-way cache: after a walk
+    // fills a line, a repeat probe at an unchanged stamp would be an
+    // MRU-way read hit (no state change); any mutation in between
+    // moves the stamp and disables the merge.
+    Cache cache(smallCache());
+    ASSERT_TRUE(cache.readHitIdempotent());
+    MshrFile mshr(MshrConfig{MshrConfig::Policy::TexFifo, 8, 0});
+
+    cache.access(0x0000, false); // miss + fill
+    const std::uint64_t line = cache.lineOf(0x0000);
+    mshr.noteWalk(line, cache.stateTick());
+
+    ASSERT_TRUE(mshr.tryMerge(line, cache.stateTick()));
+    // The merged probe books the hit the real access would have.
+    const std::uint64_t stampBefore = cache.stateTick();
+    cache.noteMergedHit();
+    EXPECT_EQ(cache.stateTick(), stampBefore)
+        << "a merged hit must not move the stamp";
+    // Cross-check against the real thing: an actual MRU read hit
+    // leaves the stamp unchanged too, so the two are identical.
+    cache.access(0x0000, false);
+    EXPECT_EQ(cache.stateTick(), stampBefore);
+
+    // Any real mutation (a fill of another set) moves the stamp and
+    // the recorded walk stops matching.
+    cache.access(0x0040, false);
+    EXPECT_FALSE(mshr.tryMerge(line, cache.stateTick()));
+}
+
+TEST(Cache, AccessRangeMatchesPerLineLoop)
+{
+    // The batched multi-line walk must be observationally identical
+    // to the per-line loop it replaced: same hits, same counters,
+    // same state stamp — on aligned, unaligned and multi-set spans.
+    const struct
+    {
+        sim::Addr addr;
+        std::uint64_t bytes;
+    } spans[] = {
+        {0x0000, 64},   // one aligned line
+        {0x1010, 32},   // within one line, unaligned
+        {0x2030, 200},  // straddles 4 lines, unaligned start
+        {0x0000, 1024}, // 16 lines, wraps every set
+    };
+    for (const auto &span : spans) {
+        Cache batched(smallCache());
+        Cache looped(smallCache());
+        // Warm both identically so the spans see mixed hits/misses.
+        batched.access(0x2040, false);
+        looped.access(0x2040, false);
+
+        const Cache::RangeResult r =
+            batched.accessRange(span.addr, span.bytes, false);
+
+        std::uint32_t lines = 0, hits = 0;
+        const std::uint64_t first = looped.lineOf(span.addr);
+        const std::uint64_t last =
+            looped.lineOf(span.addr + span.bytes - 1);
+        for (std::uint64_t l = first; l <= last; ++l) {
+            ++lines;
+            hits += looped.access(l * 64, false).hit ? 1 : 0;
+        }
+        EXPECT_EQ(r.lines, lines);
+        EXPECT_EQ(r.hits, hits);
+        EXPECT_EQ(batched.accesses(), looped.accesses());
+        EXPECT_EQ(batched.hits(), looped.hits());
+        EXPECT_EQ(batched.misses(), looped.misses());
+        EXPECT_EQ(batched.stateTick(), looped.stateTick());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast-mem calibration model (mem/fastmem.hh): sampling schedule,
+// integer latency fit, counter estimates and the reported error —
+// all hand-computed references.
+
+TEST(FastMem, WantExactFollowsCalibrateThenProbeSchedule)
+{
+    FastMemConfig config;
+    config.enabled = true;
+    config.calibrationWalks = 4;
+    config.probeEvery = 3;
+    FastMemModel model;
+    model.configure(config);
+
+    // Walks 1..4: the calibration prefix is always exact.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(model.wantExact()) << "calibration walk " << i;
+        model.observe(10, true, false, false);
+    }
+    // After calibration only every probeEvery-th walk stays exact
+    // (walk indices 6, 9, 12, ... here).
+    EXPECT_FALSE(model.wantExact()); // walk 5
+    EXPECT_TRUE(model.wantExact());  // walk 6
+    EXPECT_FALSE(model.wantExact()); // walk 7
+    EXPECT_FALSE(model.wantExact()); // walk 8
+    EXPECT_TRUE(model.wantExact());  // walk 9
+
+    // A cold start drops the fit: exact again until re-calibrated.
+    model.reset();
+    EXPECT_TRUE(model.wantExact());
+}
+
+TEST(FastMem, FirstWalkIsAlwaysExactEvenWithZeroCalibration)
+{
+    FastMemConfig config;
+    config.enabled = true;
+    config.calibrationWalks = 0;
+    config.probeEvery = 0; // no periodic probes either
+    FastMemModel model;
+    model.configure(config);
+    // The model cannot return a latency before observing one walk.
+    EXPECT_TRUE(model.wantExact());
+    model.observe(7, false, true, false);
+    EXPECT_FALSE(model.wantExact());
+    EXPECT_EQ(model.modeledLatency(), 7u);
+}
+
+TEST(FastMem, ModeledLatencyIsIntegerMeanOfObservations)
+{
+    FastMemModel model;
+    model.configure(FastMemConfig{true, 8, 0, 8});
+    EXPECT_EQ(model.modeledLatency(), 1u) << "no fit yet: floor of 1";
+    model.observe(10, true, false, false);
+    model.observe(21, false, true, false);
+    // (10 + 21) / 2 = 15 (integer floor).
+    EXPECT_EQ(model.modeledLatency(), 15u);
+}
+
+TEST(FastMem, EstimatesScaleObservedHitRatesExactly)
+{
+    FastMemModel model;
+    model.configure(FastMemConfig{true, 8, 0, 8});
+    // Hand-computed reference: 8 observed walks, 6 L1 hits; of the
+    // 2 L1 misses, 1 hits L2 and 1 goes to DRAM.
+    for (int i = 0; i < 6; ++i)
+        model.observe(4, true, false, false);
+    model.observe(20, false, true, false);
+    model.observe(90, false, false, true);
+    for (int i = 0; i < 100; ++i)
+        model.noteModeled();
+
+    const FastMemModel::Estimates e = model.estimates();
+    EXPECT_EQ(e.l1Accesses, 100u);
+    EXPECT_EQ(e.l1Hits, 75u);    // 100 * 6 / 8
+    EXPECT_EQ(e.l2Accesses, 25u); // misses = accesses - hits
+    EXPECT_EQ(e.l2Hits, 12u);     // 25 * 1 / 2
+    EXPECT_EQ(e.dramLines, 13u);  // 25 - 12
+    EXPECT_EQ(model.exactWalks(), 8u);
+    EXPECT_EQ(model.modeledWalks(), 100u);
+}
+
+TEST(FastMem, ExactVsFastPercentMatchesHandComputedReference)
+{
+    // The campaign's reported error is |fast - exact| / exact * 100
+    // over the audited sums; check the exact values and the edges.
+    EXPECT_DOUBLE_EQ(FastMemModel::exactVsFastPercent(200.0, 190.0),
+                     5.0);
+    EXPECT_DOUBLE_EQ(FastMemModel::exactVsFastPercent(200.0, 213.0),
+                     6.5);
+    EXPECT_DOUBLE_EQ(FastMemModel::exactVsFastPercent(50.0, 50.0),
+                     0.0);
+    EXPECT_DOUBLE_EQ(FastMemModel::exactVsFastPercent(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(FastMemModel::exactVsFastPercent(0.0, 3.0),
+                     100.0);
 }

@@ -25,7 +25,7 @@
  *
  *   megsim-cli campaign [--benches A,B,C] [--out campaign.json]
  *                       [--check thresholds.json] [--cache-dir DIR]
- *                       [--ledger PATH] [--workers N]
+ *                       [--ledger PATH] [--workers N] [--fast-mem]
  *       Run the full MEGsim pipeline for the whole benchmark suite
  *       through one shared worker pool and write the machine-readable
  *       accuracy report CI gates on. --check compares the report
@@ -37,6 +37,13 @@
  *       processes, per-shard retry/backoff, poison-shard quarantine.
  *       A degraded (quarantined) campaign exits 8; the worker count
  *       is recorded in the ledger's run_start manifest.
+ *       --fast-mem (or MEGSIM_FAST_MEM=1) replaces the exact texture
+ *       walk with the calibrated sampled cache model: the report's
+ *       rows carry mem_mode "fast" plus a per-benchmark exact_vs_fast
+ *       error column measured by double-running audit frames, which
+ *       --check gates via max_exact_vs_fast_percent. Fast results
+ *       bypass the disk cache and are incompatible with --workers
+ *       (the shard protocol transports cached rows, not audits).
  *
  *   megsim-cli serve --socket PATH [--max-requests N] [--workers N]
  *                    [--benches A,B,C] [--cache-dir DIR]
@@ -56,13 +63,20 @@
  *
  *   megsim-cli perf [--frames N] [--out BENCH_gpusim.json]
  *                   [--benches A,B,C] [--compare BASELINE.json]
- *                   [--band PCT]
+ *                   [--band PCT] [--strict] [--fast-mem]
  *       Run the hot-path microbench (pure timing-simulator
  *       throughput, no cache/pool) and emit the versioned
  *       BENCH_gpusim.json perf report plus its run ledger. --compare
  *       prints warn-only deviations beyond the +-PCT band (default
  *       25) against a committed baseline — wall clocks are
- *       machine-dependent, so deviations never fail the run.
+ *       machine-dependent, so by default deviations never fail the
+ *       run. With --strict a regression beyond the band exits 10,
+ *       an improvement beyond the band prints the cp command that
+ *       refreshes the committed baseline (and still exits 0), and
+ *       reports from different mem modes refuse to gate (exit 2):
+ *       a fast-mem point is a separate trajectory, not a speedup of
+ *       the exact one. --fast-mem runs the simulators with the
+ *       calibrated sampled cache model.
  *
  *   megsim-cli perf --history DIR
  *       Fold every *.jsonl run ledger under DIR into a trajectory
@@ -85,8 +99,10 @@
  * 0 success, 1 runtime/simulation failure, 2 usage, 3 load failure
  * (unknown alias, missing/unreadable input file), 4 cache
  * verification failure, 5 threshold breach, 6 report diff mismatch,
- * 7 invalid run ledger, 8 degraded campaign (quarantined shards).
- * Failures print the offending path or alias.
+ * 7 invalid run ledger, 8 degraded campaign (quarantined shards),
+ * 9 serve queue full, 10 strict perf regression (--strict with a
+ * deviation below the band). Failures print the offending path or
+ * alias.
  */
 
 #include <algorithm>
@@ -105,6 +121,7 @@
 #include "exec/pool.hh"
 #include "gpusim/gpu_config.hh"
 #include "gpusim/timing_simulator.hh"
+#include "mem/fastmem.hh"
 #include "obs/attrib.hh"
 #include "obs/ledger.hh"
 #include "obs/profile.hh"
@@ -135,6 +152,7 @@ constexpr int kExitDiffMismatch = 6;
 constexpr int kExitLedgerInvalid = 7;
 constexpr int kExitDegraded = 8;
 constexpr int kExitQueueFull = 9;
+constexpr int kExitPerfRegression = 10;
 
 struct Options
 {
@@ -166,6 +184,8 @@ struct Options
     double scale = 1.0;
     std::size_t threads = 0; // 0 = keep MEGSIM_THREADS / hw default
     bool baseline = false;
+    bool fastMem = false; // calibrated fast-mem model (campaign/perf)
+    bool strict = false;  // perf/serve compare: gate instead of warn
     bool purge = false;
     bool outSet = false;
     bool attrib = false; // host-cost attribution report
@@ -186,7 +206,7 @@ usage(const char *argv0)
         " [--purge]\n"
         "       %s campaign [--benches A,B,C] [--out REPORT.json]"
         " [--check THRESHOLDS.json] [--cache-dir DIR]"
-        " [--ledger PATH] [--workers N]\n"
+        " [--ledger PATH] [--workers N] [--fast-mem]\n"
         "       %s campaign --diff A.json B.json\n"
         "       %s serve --socket PATH [--max-requests N]"
         " [--workers N] [--policy fifo|fair|srs]"
@@ -195,7 +215,8 @@ usage(const char *argv0)
         " [--tenant NAME] [--weight W]"
         " [--out REPORT.json] [--ledger PATH]\n"
         "       %s perf [--frames N] [--out BENCH_gpusim.json]"
-        " [--benches A,B,C] [--compare BASELINE.json] [--band PCT]\n"
+        " [--benches A,B,C] [--compare BASELINE.json] [--band PCT]"
+        " [--strict] [--fast-mem]\n"
         "       %s perf --history DIR\n"
         "       %s ledger --validate PATH\n"
         "options: --scale S, --baseline, --threads N, --attrib,"
@@ -365,6 +386,10 @@ parse(int argc, char **argv, Options &opt)
             opt.cacheDir = v;
         } else if (arg == "--baseline") {
             opt.baseline = true;
+        } else if (arg == "--fast-mem") {
+            opt.fastMem = true;
+        } else if (arg == "--strict") {
+            opt.strict = true;
         } else if (arg == "--purge") {
             opt.purge = true;
         } else {
@@ -512,6 +537,8 @@ envManifest()
         "MEGSIM_TIMELINE",  "MEGSIM_ATTRIB",
         "MEGSIM_SCHED_POLICY",     "MEGSIM_SCHED_MAX_INFLIGHT",
         "MEGSIM_SHARD_REPLY_SPILL", "MEGSIM_SHARD_SPILL_DIR",
+        "MEGSIM_FAST_MEM",       "MEGSIM_FAST_MEM_CALIB",
+        "MEGSIM_FAST_MEM_PROBE", "MEGSIM_FAST_MEM_AUDIT",
     };
     util::Json env = util::Json::object();
     for (const char *var : kVars)
@@ -529,11 +556,13 @@ ledgerRunStart(obs::RunLedger &ledger, const char *tool,
                std::size_t threads, std::size_t frameLimit,
                double scale, bool baseline,
                const std::vector<std::string> &benches,
-               std::size_t workers = 0)
+               std::size_t workers = 0,
+               const mem::FastMemConfig &fastMem = {})
 {
-    const gpusim::GpuConfig config =
+    gpusim::GpuConfig config =
         baseline ? gpusim::GpuConfig::baseline()
                  : gpusim::GpuConfig::evaluationScaled();
+    config.fastMem = fastMem;
     char fingerprint[20];
     std::snprintf(fingerprint, sizeof(fingerprint), "%016llx",
                   static_cast<unsigned long long>(
@@ -552,6 +581,7 @@ ledgerRunStart(obs::RunLedger &ledger, const char *tool,
     fields.set("benches", std::move(aliases));
     fields.set("fingerprint", fingerprint);
     fields.set("env", envManifest());
+    fields.set("mem_mode", fastMem.enabled ? "fast" : "exact");
     ledger.event("run_start", std::move(fields));
 }
 
@@ -662,10 +692,11 @@ void
 printCampaignReport(const batch::CampaignReport &report)
 {
     std::printf("# campaign: %zu benchmarks, %zu threads, "
-                "mean reduction %.1fx, suite reduction %.1fx, "
-                "pool utilization %.0f%%\n",
+                "mem %s, mean reduction %.1fx, suite reduction "
+                "%.1fx, pool utilization %.0f%%\n",
                 report.benchmarks.size(), report.threads,
-                report.meanReduction, report.suiteReduction,
+                report.memMode.c_str(), report.meanReduction,
+                report.suiteReduction,
                 report.poolUtilization * 100.0);
     std::printf("%-10s %8s %4s %6s %10s %8s %8s %8s %8s  %s\n",
                 "benchmark", "frames", "k", "reps", "reduction",
@@ -677,6 +708,14 @@ printCampaignReport(const batch::CampaignReport &report)
                     b.representatives, b.reduction, b.errorPercent[0],
                     b.errorPercent[1], b.errorPercent[2],
                     b.errorPercent[3], b.cacheStatus.c_str());
+    for (const batch::BenchmarkReport &b : report.benchmarks)
+        if (b.hasExactVsFast)
+            std::printf("# %-10s exact_vs_fast: cycles %.4f%% dram "
+                        "%.4f%% l2 %.4f%% tile %.4f%% (%zu audited "
+                        "frames)\n",
+                        b.alias.c_str(), b.exactVsFast[0],
+                        b.exactVsFast[1], b.exactVsFast[2],
+                        b.exactVsFast[3], b.auditedFrames);
     for (const batch::QuarantinedShard &q : report.quarantined)
         std::fprintf(stderr,
                      "quarantined: shard %zu %s [%zu,%zu) after %zu "
@@ -700,6 +739,19 @@ runCampaign(const Options &opt)
         config.cacheDir = opt.cacheDir;
     if (opt.scale != 1.0)
         config.scale = opt.scale;
+    // Fast-mem is chosen HERE, not in CampaignConfig::fromEnv(), so
+    // supervised serve workers and env-driven cron runs stay exact
+    // unless this process was asked explicitly.
+    config.fastMem = mem::FastMemConfig::fromEnv();
+    if (opt.fastMem)
+        config.fastMem.enabled = true;
+    if (config.fastMem.enabled && opt.workers > 0) {
+        std::fprintf(stderr,
+                     "campaign: --fast-mem is incompatible with "
+                     "--workers (the shard protocol transports "
+                     "cached rows, not audit frames)\n");
+        return kExitUsage;
+    }
 
     // Load the thresholds BEFORE the (expensive) campaign, so a typoed
     // path fails in seconds, not hours.
@@ -725,7 +777,7 @@ runCampaign(const Options &opt)
                                : config.benches;
     ledgerRunStart(ledger, "campaign", exec::Pool::global().workers(),
                    config.frameLimit, config.scale, false, aliases,
-                   opt.workers);
+                   opt.workers, config.fastMem);
 
     auto result = [&]() {
         if (opt.workers > 0) {
@@ -784,6 +836,14 @@ runCampaign(const Options &opt)
         for (std::size_t m = 0; m < batch::kNumMetrics; ++m)
             error.set(batch::kMetricKeys[m], b.errorPercent[m]);
         fields.set("error", std::move(error));
+        fields.set("mem_mode", b.memMode);
+        if (b.hasExactVsFast) {
+            util::Json audit = util::Json::object();
+            for (std::size_t m = 0; m < batch::kNumMetrics; ++m)
+                audit.set(batch::kMetricKeys[m], b.exactVsFast[m]);
+            fields.set("exact_vs_fast", std::move(audit));
+            fields.set("audited_frames", b.auditedFrames);
+        }
         ledger.event("bench", std::move(fields));
     }
     if (obs::hostAttribEnabled())
@@ -1056,6 +1116,9 @@ runPerf(const Options &opt)
     options.frames = opt.frameBegin; // --frames N = frames per bench
     options.scale = opt.scale;
     options.baseline = opt.baseline;
+    options.fastMem = mem::FastMemConfig::fromEnv();
+    if (opt.fastMem)
+        options.fastMem.enabled = true;
 
     // Load the baseline up front so a typoed path fails fast.
     perf::PerfReport baselineReport;
@@ -1111,7 +1174,8 @@ runPerf(const Options &opt)
     for (const perf::BenchPerf &b : report->benches)
         aliases.push_back(b.alias);
     ledgerRunStart(ledger, "perf", 1, report->frameLimit,
-                   report->scale, report->baseline, aliases);
+                   report->scale, report->baseline, aliases, 0,
+                   options.fastMem);
     for (const perf::PhaseSplit &p : report->phases) {
         util::Json fields = util::Json::object();
         fields.set("name", p.name);
@@ -1159,14 +1223,50 @@ runPerf(const Options &opt)
         printAttrib();
 
     if (haveBaseline) {
-        const std::vector<std::string> warnings =
-            perf::compareReports(*report, baselineReport, opt.band);
-        // Warn-only by design: wall clocks differ across machines.
-        for (const std::string &w : warnings)
-            std::fprintf(stderr, "perf warning: %s\n", w.c_str());
-        if (warnings.empty())
+        if (opt.strict && report->memMode != baselineReport.memMode) {
+            // A fast-mem point is a separate trajectory; gating it
+            // against an exact baseline would "pass" on model error.
+            std::fprintf(stderr,
+                         "perf --strict: current mem_mode '%s' does "
+                         "not match baseline '%s' (%s)\n",
+                         report->memMode.c_str(),
+                         baselineReport.memMode.c_str(),
+                         opt.compare.c_str());
+            return kExitUsage;
+        }
+        const std::vector<perf::PerfDelta> deltas =
+            perf::comparePerfDeltas(*report, baselineReport,
+                                    opt.band);
+        bool regression = false;
+        bool improvement = false;
+        for (const perf::PerfDelta &d : deltas) {
+            std::fprintf(stderr,
+                         "perf %s: %s: %.1f frames/sec vs baseline "
+                         "%.1f (%+.1f%%, band +-%.0f%%)\n",
+                         opt.strict ? "delta" : "warning",
+                         d.what.c_str(), d.current, d.baseline,
+                         d.deltaPercent, opt.band);
+            (d.deltaPercent < 0.0 ? regression : improvement) = true;
+        }
+        if (deltas.empty())
             std::printf("within +-%.0f%% of baseline %s\n", opt.band,
                         opt.compare.c_str());
+        if (opt.strict && regression) {
+            std::fprintf(stderr,
+                         "perf --strict: regression beyond the "
+                         "+-%.0f%% band vs %s\n",
+                         opt.band, opt.compare.c_str());
+            return kExitPerfRegression;
+        }
+        if (opt.strict && improvement)
+            // Faster than the committed trajectory: not a failure,
+            // but the baseline is stale — tell CI readers how to
+            // record the new operating point.
+            std::printf("perf improved beyond the band; refresh the "
+                        "committed baseline:\n  cp %s %s\n",
+                        out.c_str(), opt.compare.c_str());
+        // Without --strict this stays warn-only by design: wall
+        // clocks differ across machines.
     }
     return kExitOk;
 }
