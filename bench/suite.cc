@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Suite-level clustering reduction — BENCH_suite.json. Runs the
+ * campaign twice over one warm ground-truth cache: once per-bench
+ * (every benchmark clusters and elects representatives on its own)
+ * and once with --suite-cluster (one pooled feature space, shared
+ * representatives, simulate-once timing reuse). The headline numbers
+ * are the simulated-timing-frame counts of the two trajectories and
+ * their ratio, the suite_reduction_factor — the deliverable the CI
+ * gate tracks. Analysis wall times ride along as informational
+ * context (cache regeneration is excluded from both).
+ *
+ * Baseline comparison works like the perf/serve trajectories: warn
+ * by default, enforced with --strict (a regression beyond the band
+ * exits 10, an improvement beyond it prints the cp command that
+ * refreshes the committed baseline, a missing baseline never gates).
+ *
+ *   MEGSIM_FRAME_LIMIT=48 build/bench/suite \
+ *       --compare ci/BENCH_suite.json --band 40 --strict
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "batch/campaign.hh"
+#include "batch/report.hh"
+#include "bench_common.hh"
+#include "exec/pool.hh"
+#include "obs/ledger.hh"
+#include "obs/profile.hh"
+#include "resilience/artifact.hh"
+#include "resilience/expected.hh"
+#include "util/json.hh"
+
+namespace
+{
+
+using namespace msim;
+
+constexpr const char *kSchema = "megsim-suite-bench-v1";
+
+struct SuiteBenchReport
+{
+    std::size_t frames = 0;
+    std::size_t benches = 0;
+    /** Timing frames the per-bench trajectory must simulate. */
+    std::size_t perBenchTimingFrames = 0;
+    /** Timing frames the shared-representative trajectory needs. */
+    std::size_t suiteTimingFrames = 0;
+    double suiteReductionFactor = 0.0;
+    double perBenchAnalyzeSeconds = 0.0;
+    double suiteAnalyzeSeconds = 0.0;
+};
+
+util::Json
+toJson(const SuiteBenchReport &r)
+{
+    util::Json root = util::Json::object();
+    root.set("schema", kSchema);
+    root.set("frames", r.frames);
+    root.set("benches", r.benches);
+    root.set("per_bench_timing_frames", r.perBenchTimingFrames);
+    root.set("suite_timing_frames", r.suiteTimingFrames);
+    root.set("suite_reduction_factor", r.suiteReductionFactor);
+    root.set("per_bench_analyze_seconds", r.perBenchAnalyzeSeconds);
+    root.set("suite_analyze_seconds", r.suiteAnalyzeSeconds);
+    return root;
+}
+
+/** One baseline-vs-current delta on a deterministic headline value. */
+void
+compareValue(const char *what, double current, double baseline,
+             double band, bool strict, bool &regression,
+             bool &improvement)
+{
+    if (baseline <= 0.0)
+        return;
+    const double delta = (current - baseline) / baseline * 100.0;
+    if (delta > -band && delta < band)
+        return;
+    std::printf("%s %s: %.3f vs baseline %.3f (%+.1f%%, band "
+                "±%.0f%%)\n",
+                strict ? "DELTA" : "WARN", what, current, baseline,
+                delta, band);
+    (delta < 0.0 ? regression : improvement) = true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = bench::outDir() + "/BENCH_suite.json";
+    std::string ledgerPath;
+    std::string compare;
+    std::string benchesArg;
+    bool strict = false;
+    double band = 40.0;
+    std::size_t frames = 48;
+    if (const char *env = std::getenv("MEGSIM_FRAME_LIMIT"))
+        frames = static_cast<std::size_t>(std::atoll(env));
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--out") {
+            if (const char *v = next())
+                out = v;
+        } else if (arg == "--ledger") {
+            if (const char *v = next())
+                ledgerPath = v;
+        } else if (arg == "--compare") {
+            if (const char *v = next())
+                compare = v;
+        } else if (arg == "--band") {
+            if (const char *v = next())
+                band = std::atof(v);
+        } else if (arg == "--frames") {
+            if (const char *v = next())
+                frames = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--benches") {
+            if (const char *v = next())
+                benchesArg = v;
+        } else if (arg == "--strict") {
+            strict = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: suite [--out PATH] [--ledger PATH]"
+                         " [--compare BASELINE.json] [--band PCT]"
+                         " [--strict] [--frames N] [--benches A,B,C]"
+                         "\n");
+            return 2;
+        }
+    }
+    if (frames == 0)
+        frames = 48;
+
+    batch::CampaignConfig base = batch::CampaignConfig::fromEnv();
+    base.frameLimit = frames;
+    base.cacheDir = bench::outDir() + "/suite-bench-cache";
+    if (!benchesArg.empty()) {
+        base.benches.clear();
+        for (std::size_t pos = 0; pos < benchesArg.size();) {
+            const std::size_t comma = benchesArg.find(',', pos);
+            const std::size_t end =
+                comma == std::string::npos ? benchesArg.size() : comma;
+            if (end > pos)
+                base.benches.push_back(
+                    benchesArg.substr(pos, end - pos));
+            pos = end + 1;
+        }
+    }
+
+    obs::RunLedger ledger;
+    {
+        util::Json fields = util::Json::object();
+        fields.set("tool", "suite-bench");
+        fields.set("mode", "suite-cluster");
+        fields.set("threads", exec::Pool::global().workers());
+        fields.set("frame_limit", frames);
+        ledger.event("run_start", std::move(fields));
+    }
+    const double runStart = obs::wallSeconds();
+
+    // Warm-up pass: regenerate the ground-truth caches so both timed
+    // passes below measure analysis only, never simulation.
+    {
+        batch::Campaign warm(base);
+        if (auto warmed = warm.run(); !warmed.ok()) {
+            std::fprintf(stderr, "suite-bench: warm-up failed: %s\n",
+                         warmed.error().message.c_str());
+            return 1;
+        }
+    }
+
+    const double perBenchStart = obs::wallSeconds();
+    batch::Campaign perBench(base);
+    auto perBenchReport = perBench.run();
+    const double perBenchSeconds =
+        obs::wallSeconds() - perBenchStart;
+    if (!perBenchReport.ok()) {
+        std::fprintf(stderr, "suite-bench: per-bench run failed: %s\n",
+                     perBenchReport.error().message.c_str());
+        return 1;
+    }
+
+    batch::CampaignConfig suiteConfig = base;
+    suiteConfig.suiteCluster = true;
+    const double suiteStart = obs::wallSeconds();
+    batch::Campaign suite(suiteConfig);
+    auto suiteReport = suite.run();
+    const double suiteSeconds = obs::wallSeconds() - suiteStart;
+    if (!suiteReport.ok()) {
+        std::fprintf(stderr, "suite-bench: suite run failed: %s\n",
+                     suiteReport.error().message.c_str());
+        return 1;
+    }
+
+    SuiteBenchReport report;
+    report.frames = frames;
+    report.benches = perBenchReport->benchmarks.size();
+    report.perBenchTimingFrames =
+        suiteReport->perBenchRepresentatives;
+    report.suiteTimingFrames = suiteReport->sharedRepresentatives;
+    report.suiteReductionFactor = suiteReport->suiteReductionFactor;
+    report.perBenchAnalyzeSeconds = perBenchSeconds;
+    report.suiteAnalyzeSeconds = suiteSeconds;
+
+    // Cross-check: the suite report's per-bench baseline is computed
+    // by the same pipelines the per-bench campaign runs, so the two
+    // trajectories must agree on the per-bench timing-frame count.
+    const auto perBenchTotal = static_cast<std::size_t>(
+        perBenchReport->totalRepresentatives);
+    if (perBenchTotal != report.perBenchTimingFrames) {
+        std::fprintf(stderr,
+                     "suite-bench: per-bench rep count diverged: "
+                     "campaign %zu vs suite baseline %zu\n",
+                     perBenchTotal, report.perBenchTimingFrames);
+        return 1;
+    }
+
+    std::printf("# suite: %zu benches, %zu frames each\n",
+                report.benches, frames);
+    std::printf("%-10s %7s %12s %13s %9s\n", "bench", "frames",
+                "per-bench_k", "suite_serving", "borrowed");
+    bench::printRule(56);
+    for (std::size_t i = 0; i < suiteReport->benchmarks.size(); ++i) {
+        const batch::BenchmarkReport &row =
+            suiteReport->benchmarks[i];
+        std::printf("%-10s %7zu %12zu %13zu %9zu\n",
+                    row.alias.c_str(), row.frames,
+                    perBenchReport->benchmarks[i].representatives,
+                    row.representatives, row.borrowedReps);
+    }
+    bench::printRule(56);
+    std::printf("timing frames: %zu per-bench -> %zu shared "
+                "(%.2fx fewer)\n",
+                report.perBenchTimingFrames,
+                report.suiteTimingFrames,
+                report.suiteReductionFactor);
+    std::printf("analysis wall: %.3fs per-bench, %.3fs suite\n",
+                report.perBenchAnalyzeSeconds,
+                report.suiteAnalyzeSeconds);
+
+    {
+        util::Json values = util::Json::object();
+        values.set("suite_reduction_factor",
+                   report.suiteReductionFactor);
+        values.set("per_bench_timing_frames",
+                   report.perBenchTimingFrames);
+        values.set("suite_timing_frames", report.suiteTimingFrames);
+        util::Json fields = util::Json::object();
+        fields.set("values", std::move(values));
+        ledger.event("metrics", std::move(fields));
+    }
+    {
+        util::Json fields = util::Json::object();
+        fields.set("wall_seconds", obs::wallSeconds() - runStart);
+        fields.set("status", "ok");
+        ledger.event("run_end", std::move(fields));
+    }
+
+    if (auto saved = resilience::atomicWriteFile(
+            out, toJson(report).dump() + "\n");
+        !saved.ok()) {
+        std::fprintf(stderr, "suite-bench: cannot write %s: %s\n",
+                     out.c_str(), saved.error().message.c_str());
+        return 1;
+    }
+    std::printf("report: %s\n", out.c_str());
+    if (!ledgerPath.empty()) {
+        if (auto saved = ledger.save(ledgerPath); !saved.ok()) {
+            std::fprintf(stderr,
+                         "suite-bench: cannot write %s: %s\n",
+                         ledgerPath.c_str(),
+                         saved.error().message.c_str());
+            return 1;
+        }
+        std::printf("ledger: %s\n", ledgerPath.c_str());
+    }
+
+    int rc = 0;
+    if (!compare.empty()) {
+        auto text = resilience::readFileToString(compare);
+        auto loaded = text.ok()
+                          ? util::Json::parse(*text)
+                          : resilience::Expected<util::Json>(
+                                text.error());
+        if (!loaded.ok()) {
+            // A missing baseline never gates — strict or not — so
+            // the first measured point can land before its baseline.
+            std::fprintf(stderr, "suite-bench: no baseline %s: %s\n",
+                         compare.c_str(),
+                         loaded.error().message.c_str());
+        } else {
+            bool regression = false;
+            bool improvement = false;
+            auto field = [&](const char *key) {
+                const util::Json *v = loaded->find(key);
+                return v ? v->asNumber() : 0.0;
+            };
+            // Deterministic headline values only: wall times are
+            // host noise and stay informational.
+            compareValue("suite_reduction_factor",
+                         report.suiteReductionFactor,
+                         field("suite_reduction_factor"), band,
+                         strict, regression, improvement);
+            // Fewer timing frames is better, so compare the
+            // reduction both ways round: a frame-count increase
+            // shows up as a factor regression above.
+            compareValue(
+                "per_bench_timing_frames",
+                static_cast<double>(report.perBenchTimingFrames),
+                field("per_bench_timing_frames"), band, strict,
+                regression, improvement);
+            if (!regression && !improvement)
+                std::printf("within ±%.0f%% of %s\n", band,
+                            compare.c_str());
+            if (strict && regression) {
+                std::fprintf(stderr,
+                             "suite-bench: regression beyond the "
+                             "±%.0f%% band vs %s\n",
+                             band, compare.c_str());
+                rc = 10;
+            } else if (strict && improvement) {
+                std::printf("suite-bench improved beyond the band; "
+                            "refresh the committed baseline:\n"
+                            "  cp %s %s\n",
+                            out.c_str(), compare.c_str());
+            }
+        }
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(base.cacheDir, ec);
+    return rc;
+}

@@ -97,9 +97,13 @@ util::Json
 CampaignReport::toJson() const
 {
     util::Json root = util::Json::object();
-    root.set("schema", kSchema);
+    // Suite clustering off must serialize byte-identically to the v2
+    // writer, so every v3 key below is gated on suiteCluster.
+    root.set("schema", suiteCluster ? kSchemaV3 : kSchema);
     root.set("threads", threads);
     root.set("mem_mode", memMode);
+    if (suiteCluster)
+        root.set("suite_cluster", true);
     root.set("degraded", degraded);
 
     util::Json quarantineRows = util::Json::array();
@@ -132,6 +136,8 @@ CampaignReport::toJson() const
             row.set("exact_vs_fast", metricObject(b.exactVsFast));
             row.set("audited_frames", b.auditedFrames);
         }
+        if (suiteCluster)
+            row.set("borrowed_reps", b.borrowedReps);
         rows.push(std::move(row));
     }
     root.set("benchmarks", std::move(rows));
@@ -144,6 +150,12 @@ CampaignReport::toJson() const
     suite.set("suite_reduction", suiteReduction);
     suite.set("mean_error_percent", metricObject(meanErrorPercent));
     suite.set("max_error_percent", metricObject(maxErrorPercent));
+    if (suiteCluster) {
+        suite.set("shared_representatives", sharedRepresentatives);
+        suite.set("per_bench_representatives",
+                  perBenchRepresentatives);
+        suite.set("suite_reduction_factor", suiteReductionFactor);
+    }
     suite.set("wall_seconds", wallSeconds);
     suite.set("pool_utilization", poolUtilization);
     root.set("suite", std::move(suite));
@@ -157,16 +169,20 @@ CampaignReport::fromJson(const util::Json &json)
     if (!schema || !schema->isString())
         return resilience::errorf(resilience::Errc::BadFormat,
                                   "report: missing 'schema'");
-    // v1 reports load fine: every v2 field is optional and defaults
-    // to the exact-mode value v1 rows implicitly carried.
+    // v1/v2 reports load fine: every later field is optional and
+    // defaults to the value earlier rows implicitly carried.
     if (schema->asString() != kSchema &&
-        schema->asString() != kSchemaV1)
+        schema->asString() != kSchemaV1 &&
+        schema->asString() != kSchemaV3)
         return resilience::errorf(
             resilience::Errc::BadVersion,
-            "report: schema '%s', expected '%s' (or '%s')",
-            schema->asString().c_str(), kSchema, kSchemaV1);
+            "report: schema '%s', expected '%s' (or '%s', '%s')",
+            schema->asString().c_str(), kSchema, kSchemaV1, kSchemaV3);
 
     CampaignReport report;
+    report.schemaVersion = schema->asString();
+    if (const util::Json *sc = json.find("suite_cluster"))
+        report.suiteCluster = sc->asBool();
     if (const util::Json *mode = json.find("mem_mode"))
         report.memMode = mode->asString();
     if (auto threads = numberAt(json, "threads"); threads.ok())
@@ -262,6 +278,9 @@ CampaignReport::fromJson(const util::Json &json)
                 frames.ok())
                 b.auditedFrames = static_cast<std::size_t>(*frames);
         }
+        if (auto borrowed = numberAt(row, "borrowed_reps");
+            borrowed.ok())
+            b.borrowedReps = static_cast<std::size_t>(*borrowed);
         report.benchmarks.push_back(std::move(b));
     }
 
@@ -296,6 +315,12 @@ CampaignReport::fromJson(const util::Json &json)
                                    report.maxErrorPercent);
     if (!maxErr.ok())
         return maxErr.error();
+    if (auto v = numberAt(*suite, "shared_representatives"); v.ok())
+        report.sharedRepresentatives = static_cast<std::size_t>(*v);
+    if (auto v = numberAt(*suite, "per_bench_representatives"); v.ok())
+        report.perBenchRepresentatives = static_cast<std::size_t>(*v);
+    if (auto v = numberAt(*suite, "suite_reduction_factor"); v.ok())
+        report.suiteReductionFactor = *v;
     return report;
 }
 
@@ -322,6 +347,8 @@ Thresholds::Thresholds()
     for (std::size_t m = 0; m < kNumMetrics; ++m) {
         maxErrorPercent[m] = std::numeric_limits<double>::infinity();
         maxExactVsFastPercent[m] =
+            std::numeric_limits<double>::infinity();
+        suiteMaxErrorPercent[m] =
             std::numeric_limits<double>::infinity();
     }
 }
@@ -351,6 +378,16 @@ Thresholds::fromJson(const util::Json &json)
         limits.minReduction = v->asNumber();
     if (const util::Json *v = json.find("min_mean_reduction"))
         limits.minMeanReduction = v->asNumber();
+    if (const util::Json *suite = json.find("suite")) {
+        if (const util::Json *errs =
+                suite->find("max_error_percent")) {
+            for (std::size_t m = 0; m < kNumMetrics; ++m)
+                if (const util::Json *v = errs->find(kMetricKeys[m]))
+                    limits.suiteMaxErrorPercent[m] = v->asNumber();
+        }
+        if (const util::Json *v = suite->find("min_gain"))
+            limits.suiteMinGain = v->asNumber();
+    }
     return limits;
 }
 
@@ -371,15 +408,19 @@ checkThresholds(const CampaignReport &report, const Thresholds &limits)
 {
     std::vector<std::string> violations;
     char line[160];
+    // Suite-cluster fold-back errors come from cross-benchmark reuse
+    // and are calibrated by the `suite` block, not the per-bench one.
+    const double *errorLimits = report.suiteCluster
+                                    ? limits.suiteMaxErrorPercent
+                                    : limits.maxErrorPercent;
     for (const BenchmarkReport &b : report.benchmarks) {
         for (std::size_t m = 0; m < kNumMetrics; ++m) {
-            if (b.errorPercent[m] > limits.maxErrorPercent[m]) {
+            if (b.errorPercent[m] > errorLimits[m]) {
                 std::snprintf(line, sizeof(line),
                               "%s: %s error %.4f%% exceeds limit "
                               "%.4f%%",
                               b.alias.c_str(), kMetricKeys[m],
-                              b.errorPercent[m],
-                              limits.maxErrorPercent[m]);
+                              b.errorPercent[m], errorLimits[m]);
                 violations.emplace_back(line);
             }
         }
@@ -409,6 +450,15 @@ checkThresholds(const CampaignReport &report, const Thresholds &limits)
                       report.meanReduction, limits.minMeanReduction);
         violations.emplace_back(line);
     }
+    if (report.suiteCluster &&
+        report.suiteReductionFactor < limits.suiteMinGain) {
+        std::snprintf(line, sizeof(line),
+                      "suite: suite reduction factor %.2fx below "
+                      "floor %.2fx",
+                      report.suiteReductionFactor,
+                      limits.suiteMinGain);
+        violations.emplace_back(line);
+    }
     return violations;
 }
 
@@ -426,6 +476,13 @@ diffReports(const CampaignReport &a, const CampaignReport &b)
         diffs.emplace_back(line);
     };
 
+    if (a.suiteCluster != b.suiteCluster) {
+        std::snprintf(line, sizeof(line),
+                      "suite: suite_cluster %s != %s",
+                      a.suiteCluster ? "true" : "false",
+                      b.suiteCluster ? "true" : "false");
+        diffs.emplace_back(line);
+    }
     if (a.benchmarks.size() != b.benchmarks.size()) {
         std::snprintf(line, sizeof(line),
                       "suite: %zu benchmarks != %zu",
@@ -476,6 +533,10 @@ diffReports(const CampaignReport &a, const CampaignReport &b)
                           kMetricKeys[m]);
             number(where, what, ra.exactVsFast[m], rb.exactVsFast[m]);
         }
+        if (a.suiteCluster && b.suiteCluster)
+            number(where, "borrowed_reps",
+                   static_cast<double>(ra.borrowedReps),
+                   static_cast<double>(rb.borrowedReps));
     }
 
     if (a.degraded != b.degraded) {
@@ -526,6 +587,16 @@ diffReports(const CampaignReport &a, const CampaignReport &b)
                       kMetricKeys[m]);
         number("suite", what, a.maxErrorPercent[m],
                b.maxErrorPercent[m]);
+    }
+    if (a.suiteCluster && b.suiteCluster) {
+        number("suite", "shared_representatives",
+               static_cast<double>(a.sharedRepresentatives),
+               static_cast<double>(b.sharedRepresentatives));
+        number("suite", "per_bench_representatives",
+               static_cast<double>(a.perBenchRepresentatives),
+               static_cast<double>(b.perBenchRepresentatives));
+        number("suite", "suite_reduction_factor",
+               a.suiteReductionFactor, b.suiteReductionFactor);
     }
     return diffs;
 }

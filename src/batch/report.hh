@@ -63,6 +63,12 @@ struct BenchmarkReport
     bool hasExactVsFast = false;
     double exactVsFast[kNumMetrics] = {};
     std::size_t auditedFrames = 0;
+    /**
+     * Suite-cluster column (schema v3): how many of this benchmark's
+     * serving representatives were simulated under ANOTHER benchmark
+     * (cross-benchmark timing reuse). Zero in per-bench mode.
+     */
+    std::size_t borrowedReps = 0;
 };
 
 /**
@@ -89,9 +95,17 @@ struct CampaignReport
      * still accepts v1 — every added field is optional with an
      * exact-mode default, so pre-v2 reports load, diff and gate
      * unchanged.
+     *
+     * v3 adds the suite-cluster fields (campaign `suite_cluster`,
+     * per-row `borrowed_reps`, suite `shared_representatives` /
+     * `per_bench_representatives` / `suite_reduction_factor`).
+     * toJson() only emits v3 when suiteCluster is set — a campaign
+     * with suite clustering off serializes BYTE-IDENTICALLY to the
+     * v2 writer, which is what the golden tests pin.
      */
     static constexpr const char *kSchema = "megsim-campaign-v2";
     static constexpr const char *kSchemaV1 = "megsim-campaign-v1";
+    static constexpr const char *kSchemaV3 = "megsim-campaign-v3";
 
     std::size_t threads = 0;
     /** "exact" or "fast": the mode every result row ran under. */
@@ -104,6 +118,20 @@ struct CampaignReport
     bool degraded = false;
     std::vector<QuarantinedShard> quarantined;
     std::vector<BenchmarkReport> benchmarks;
+
+    /**
+     * Suite-cluster provenance (schema v3). The schema the report was
+     * parsed from (or will serialize as) is recorded so tooling can
+     * refuse cross-schema comparisons with a clear message.
+     */
+    bool suiteCluster = false;
+    /** Shared representatives actually timing-simulated suite-wide. */
+    std::size_t sharedRepresentatives = 0;
+    /** What independent per-bench clustering would have simulated. */
+    std::size_t perBenchRepresentatives = 0;
+    /** perBenchRepresentatives / sharedRepresentatives (>= 1 good). */
+    double suiteReductionFactor = 0.0;
+    std::string schemaVersion = kSchema;
 
     // Suite aggregates, derived by computeAggregates().
     double totalFrames = 0.0;
@@ -148,6 +176,15 @@ struct Thresholds
      * v1 because old parsers ignore unknown keys.
      */
     double maxExactVsFastPercent[kNumMetrics];
+    /**
+     * Optional nested `suite` block gating suite-cluster reports:
+     * per-benchmark fold-back error ceilings (REPLACING
+     * max_error_percent for v3 reports, whose errors come from
+     * cross-benchmark reuse and are calibrated separately) and the
+     * floor on suite_reduction_factor. Ignored for per-bench reports.
+     */
+    double suiteMaxErrorPercent[kNumMetrics];
+    double suiteMinGain = 0.0;
 
     Thresholds();
 

@@ -50,6 +50,10 @@ constexpr FieldSpec kRunStartFields[] = {
     {"fingerprint", FieldKind::Str, false},
     {"env", FieldKind::StrMap, false},
     {"mem_mode", FieldKind::Str, false},
+    // Trajectory mode: "exact" / "fast" / "suite-cluster" / ... —
+    // what `perf --history` groups rows by so modes never compare
+    // against each other.
+    {"mode", FieldKind::Str, false},
 };
 
 constexpr FieldSpec kCacheFields[] = {
@@ -122,6 +126,19 @@ constexpr FieldSpec kShardQuarantineFields[] = {
     {"reason", FieldKind::Str, true},
 };
 
+constexpr FieldSpec kShardCoalesceFields[] = {
+    {"bench", FieldKind::Str, true},
+    {"request", FieldKind::Num, true},
+    {"producer", FieldKind::Num, true},
+    {"shards_avoided", FieldKind::Num, true},
+};
+
+constexpr FieldSpec kLeaseResolvedFields[] = {
+    {"bench", FieldKind::Str, true},
+    {"request", FieldKind::Num, true},
+    {"source", FieldKind::Str, true},
+};
+
 constexpr FieldSpec kRequestAdmitFields[] = {
     {"request", FieldKind::Num, true},
     {"tenant", FieldKind::Str, true},
@@ -162,6 +179,10 @@ constexpr EventSpec kEventSpecs[] = {
     {"shard_retry", kShardRetryFields, std::size(kShardRetryFields)},
     {"shard_quarantine", kShardQuarantineFields,
      std::size(kShardQuarantineFields)},
+    {"shard_coalesce", kShardCoalesceFields,
+     std::size(kShardCoalesceFields)},
+    {"lease_resolved", kLeaseResolvedFields,
+     std::size(kLeaseResolvedFields)},
     {"request_admit", kRequestAdmitFields,
      std::size(kRequestAdmitFields)},
     {"sched_dispatch", kSchedDispatchFields,
@@ -377,6 +398,14 @@ summarizeLedger(const std::string &path,
             row.tool = ev.find("tool")->asString();
             row.threads = static_cast<std::size_t>(
                 ev.find("threads")->asNumber());
+            // Pre-`mode` ledgers carried the trajectory mode in
+            // mem_mode (exact/fast); older ones were always exact.
+            if (const Json *mode = ev.find("mode"))
+                row.mode = mode->asString();
+            else if (const Json *mem = ev.find("mem_mode"))
+                row.mode = mem->asString();
+            else
+                row.mode = "exact";
         } else if (type == "metrics") {
             row.metrics.clear();
             for (const auto &[key, value] :

@@ -123,6 +123,9 @@ struct LedgerSummary
 {
     std::string path;          // ledger file (basename in reports)
     std::string tool;          // "campaign" / "perf"
+    // Trajectory mode: "exact" / "fast" / "suite-cluster" / ...;
+    // falls back to the run_start mem_mode for pre-mode ledgers.
+    std::string mode = "exact";
     std::size_t threads = 0;
     std::string status;        // "ok" / "failed" / "" if no run_end
     double wallSeconds = 0.0;

@@ -110,6 +110,10 @@ struct Scheduler::Item
     std::size_t resumedFrames = 0;
     bool needsRegen = false;
     bool quarantined = false;
+    /** True while another request's regeneration is leased. */
+    bool leased = false;
+    std::uint64_t leaseKey = 0;
+    std::size_t leaseProducer = 0;
 };
 
 struct Scheduler::Shard
@@ -258,6 +262,35 @@ Scheduler::admit(const RequestSpec &spec)
             }
             item.needsRegen = true;
             const std::size_t frames = item.scene.numFrames();
+            const std::size_t shardCount =
+                (frames + config_.shard.shardFrames - 1) /
+                config_.shard.shardFrames;
+
+            // Coalesce duplicate regenerations: if another in-flight
+            // request is already rebuilding this exact (scene, GPU
+            // config) ground truth, lease its run instead of racing
+            // it — this request creates no shards for the bench and
+            // loads the producer's verified cache once it lands.
+            const std::uint64_t key = item.data->cacheKey();
+            auto inFlight = regenOwner_.find(key);
+            if (inFlight != regenOwner_.end()) {
+                item.leased = true;
+                item.leaseKey = key;
+                item.leaseProducer = inFlight->second;
+                ambient_.scalar("sched.shards_coalesced",
+                                "regeneration shards avoided by "
+                                "leasing an in-flight rebuild") +=
+                    static_cast<double>(shardCount);
+                Json fields = Json::object();
+                fields.set("bench", item.alias);
+                fields.set("request", request->id);
+                fields.set("producer", inFlight->second);
+                fields.set("shards_avoided", shardCount);
+                request->recordEvent("shard_coalesce",
+                                     std::move(fields));
+                continue;
+            }
+            regenOwner_[key] = request->id;
             for (std::size_t begin = 0; begin < frames;
                  begin += config_.shard.shardFrames) {
                 Shard shard;
@@ -361,6 +394,63 @@ Scheduler::dispatchEligible(double now)
         fields.set("policy", policyName(config_.policy));
         fields.set("remaining", request.remainingShards());
         request.recordEvent("sched_dispatch", std::move(fields));
+    }
+}
+
+void
+Scheduler::resolveLeases()
+{
+    for (auto &request : active_) {
+        for (std::size_t i = 0; i < request->items.size(); ++i) {
+            Item &item = *request->items[i];
+            if (!item.leased)
+                continue;
+            const bool producerActive = std::any_of(
+                active_.begin(), active_.end(),
+                [&](const std::unique_ptr<Request> &r) {
+                    return r->id == item.leaseProducer;
+                });
+            if (producerActive)
+                continue;
+
+            // The producer finalized (or was never going to finish
+            // this bench). Prefer its stored cache; fall back to
+            // regenerating ourselves if it quarantined the bench or
+            // the cache store failed.
+            std::optional<obs::ProcessRegistryOverride> isolate;
+            if (request->registry)
+                isolate.emplace(*request->registry);
+            item.leased = false;
+            if (item.data->probeCaches() ==
+                megsim::CacheProbe::Loaded) {
+                item.cacheStatus = "coalesced";
+                item.needsRegen = false; // nothing to reassemble
+                Json fields = Json::object();
+                fields.set("bench", item.alias);
+                fields.set("request", request->id);
+                fields.set("source", "cache");
+                request->recordEvent("lease_resolved",
+                                     std::move(fields));
+                continue;
+            }
+            regenOwner_[item.leaseKey] = request->id;
+            const std::size_t frames = item.scene.numFrames();
+            for (std::size_t begin = 0; begin < frames;
+                 begin += config_.shard.shardFrames) {
+                Shard shard;
+                shard.id = nextShardId_++;
+                shard.item = i;
+                shard.beginFrame = begin;
+                shard.endFrame = std::min(
+                    frames, begin + config_.shard.shardFrames);
+                request->shards.push_back(std::move(shard));
+            }
+            Json fields = Json::object();
+            fields.set("bench", item.alias);
+            fields.set("request", request->id);
+            fields.set("source", "rebuild");
+            request->recordEvent("lease_resolved", std::move(fields));
+        }
     }
 }
 
@@ -504,6 +594,12 @@ Scheduler::finalize(std::unique_ptr<Request> request)
     result.id = request->id;
     result.tenant = request->tenant;
 
+    // Release regeneration ownership: caches this request stored are
+    // on disk now, so leasing requests resolve on their next step.
+    for (auto it = regenOwner_.begin(); it != regenOwner_.end();)
+        it = it->second == request->id ? regenOwner_.erase(it)
+                                       : std::next(it);
+
     {
         std::optional<obs::ProcessRegistryOverride> isolate;
         if (request->registry)
@@ -548,14 +644,35 @@ Scheduler::finalize(std::unique_ptr<Request> request)
         // identical inputs, identical rows to the in-process
         // campaign.
         batch::CampaignReport &report = result.report;
-        for (auto &item : request->items) {
-            if (item->quarantined)
-                continue;
-            batch::BenchmarkReport row = batch::analyzeBenchmark(
-                item->alias, *item->data, base_.megsim);
-            row.resumedFrames = item->resumedFrames;
-            row.cacheStatus = item->cacheStatus;
-            report.benchmarks.push_back(std::move(row));
+        if (base_.suiteCluster) {
+            std::vector<batch::SuiteBench> inputs;
+            for (auto &item : request->items) {
+                if (item->quarantined)
+                    continue;
+                inputs.push_back(batch::SuiteBench{
+                    item->alias, item->data.get(), item->cacheStatus,
+                    item->resumedFrames});
+            }
+            batch::SuiteAnalysis suite =
+                batch::analyzeSuite(inputs, base_.megsim);
+            for (batch::BenchmarkReport &row : suite.rows)
+                report.benchmarks.push_back(std::move(row));
+            report.suiteCluster = true;
+            report.sharedRepresentatives =
+                suite.sharedRepresentatives;
+            report.perBenchRepresentatives =
+                suite.perBenchRepresentatives;
+            report.suiteReductionFactor = suite.suiteReductionFactor;
+        } else {
+            for (auto &item : request->items) {
+                if (item->quarantined)
+                    continue;
+                batch::BenchmarkReport row = batch::analyzeBenchmark(
+                    item->alias, *item->data, base_.megsim);
+                row.resumedFrames = item->resumedFrames;
+                row.cacheStatus = item->cacheStatus;
+                report.benchmarks.push_back(std::move(row));
+            }
         }
         for (const Shard &shard : request->shards) {
             if (shard.state != Shard::State::Quarantined)
@@ -624,6 +741,10 @@ Scheduler::step(int timeoutMs)
         return finished;
     const double now = obs::wallSeconds();
 
+    // Leased items whose producer finalized last round resolve first,
+    // so any fallback shards they create dispatch this round.
+    resolveLeases();
+
     std::size_t outstanding = 0;
     bool backingOff = false;
     for (const auto &request : active_)
@@ -652,14 +773,21 @@ Scheduler::step(int timeoutMs)
         ::usleep(2000);
     }
 
-    // Finalize every request whose shards are all terminal.
+    // Finalize every request whose shards are all terminal and whose
+    // leases (if any) have resolved.
     for (std::size_t i = 0; i < active_.size();) {
-        const bool done = std::none_of(
-            active_[i]->shards.begin(), active_[i]->shards.end(),
-            [](const Shard &shard) {
-                return shard.state == Shard::State::Pending ||
-                       shard.state == Shard::State::Running;
-            });
+        const bool done =
+            std::none_of(
+                active_[i]->shards.begin(), active_[i]->shards.end(),
+                [](const Shard &shard) {
+                    return shard.state == Shard::State::Pending ||
+                           shard.state == Shard::State::Running;
+                }) &&
+            std::none_of(active_[i]->items.begin(),
+                         active_[i]->items.end(),
+                         [](const std::unique_ptr<Item> &item) {
+                             return item->leased;
+                         });
         if (!done) {
             ++i;
             continue;

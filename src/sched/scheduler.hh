@@ -146,6 +146,7 @@ class Scheduler
     struct Request;
 
     void dispatchEligible(double now);
+    void resolveLeases();
     void routeFleetEvents();
     void handleEvent(const serve::Fleet::Event &event);
     void failShard(Request &request, Shard &shard,
@@ -160,6 +161,15 @@ class Scheduler
     std::vector<std::unique_ptr<Request>> active_;
     /** Global shard id → (owning request, index into its shards). */
     std::map<std::size_t, std::pair<Request *, std::size_t>> owner_;
+    /**
+     * Cache key → request currently regenerating that ground truth.
+     * A later request targeting the same (scene, GPU config) leases
+     * the in-flight regeneration instead of re-running it: it gets no
+     * shards of its own, waits for the producer to finalize (which
+     * stores the cache), then loads the verified cache. Closes the
+     * DESIGN.md §6j duplicate-regeneration journal race.
+     */
+    std::map<std::uint64_t, std::size_t> regenOwner_;
     /** Tenant → consumed virtual time (fair-share state). */
     std::map<std::string, double> tenantVirtual_;
     std::size_t nextRequestId_ = 0;

@@ -442,6 +442,89 @@ TEST(CampaignCli, StrictPerfRegressionExitsTen)
               std::string::npos);
 }
 
+TEST(CampaignCli, SuiteClusterWritesV3ReportAndValidLedger)
+{
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path json = dir / "suite.json";
+    const std::filesystem::path ledger = dir / "suite.run.jsonl";
+    const std::filesystem::path log = dir / "suite.log";
+
+    const int rc = runCli("campaign --benches hcr,jjo --suite-cluster"
+                          " --out " + json.string() +
+                          " --ledger " + ledger.string(),
+                          log);
+    ASSERT_EQ(rc, 0) << slurp(log);
+
+    const std::string text = slurp(json);
+    EXPECT_NE(text.find("\"schema\": \"megsim-campaign-v3\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"suite_cluster\": true"), std::string::npos);
+    EXPECT_NE(text.find("\"borrowed_reps\""), std::string::npos);
+    EXPECT_NE(text.find("\"shared_representatives\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"per_bench_representatives\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"suite_reduction_factor\""),
+              std::string::npos);
+    EXPECT_NE(slurp(log).find("suite-cluster:"), std::string::npos);
+
+    // The strict ledger schema accepts the new trajectory-mode field.
+    EXPECT_EQ(runCli("ledger --validate " + ledger.string(), log), 0)
+        << slurp(log);
+    EXPECT_NE(slurp(ledger).find("\"mode\":\"suite-cluster\""),
+              std::string::npos);
+
+    // perf --history folds the run_start mode into its mode column.
+    const std::filesystem::path hlog = dir / "history.log";
+    EXPECT_EQ(runCli("perf --history " + dir.string(), hlog), 0)
+        << slurp(hlog);
+    EXPECT_NE(slurp(hlog).find("mode"), std::string::npos);
+    EXPECT_NE(slurp(hlog).find("suite-cluster"), std::string::npos);
+
+    // The MEGSIM_SUITE_CLUSTER env var is the flag's cron-job twin.
+    const std::filesystem::path envJson = dir / "suite-env.json";
+    ASSERT_EQ(runCli("campaign --benches hcr,jjo --out " +
+                         envJson.string(),
+                     log, "MEGSIM_SUITE_CLUSTER=1"),
+              0)
+        << slurp(log);
+    EXPECT_NE(slurp(envJson).find("\"schema\": \"megsim-campaign-v3\""),
+              std::string::npos);
+}
+
+TEST(CampaignCli, DiffRefusesMixedSchemasWithExitTwo)
+{
+    // A per-bench (v2) and a suite-cluster (v3) report are different
+    // trajectories: --diff must refuse with a schema-mismatch usage
+    // error, NOT report a content mismatch (exit 6).
+    ASSERT_FALSE(cliPath.empty());
+    const std::filesystem::path dir = tempDir();
+    const std::filesystem::path perBench = dir / "pb.json";
+    const std::filesystem::path suite = dir / "sc.json";
+    const std::filesystem::path log = dir / "mixed.log";
+
+    ASSERT_EQ(runCli("campaign --benches hcr --out " +
+                         perBench.string(),
+                     log),
+              0)
+        << slurp(log);
+    ASSERT_EQ(runCli("campaign --benches hcr --suite-cluster --out " +
+                         suite.string(),
+                     log),
+              0)
+        << slurp(log);
+
+    const int rc = runCli("campaign --diff " + perBench.string() +
+                              " " + suite.string(),
+                          log);
+    EXPECT_EQ(rc, 2) << slurp(log);
+    const std::string text = slurp(log);
+    EXPECT_NE(text.find("schema mismatch"), std::string::npos);
+    EXPECT_NE(text.find("megsim-campaign-v2"), std::string::npos);
+    EXPECT_NE(text.find("megsim-campaign-v3"), std::string::npos);
+}
+
 TEST(CampaignCli, StrictRefusesCrossModeComparison)
 {
     ASSERT_FALSE(cliPath.empty());

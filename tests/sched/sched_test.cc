@@ -386,3 +386,200 @@ TEST_F(SchedTest, PoisonShardDegradesOnlyItsOwnRequest)
     EXPECT_EQ(quarantines[0], 1u);
     EXPECT_EQ(quarantines[1], 0u);
 }
+
+TEST_F(SchedTest, DuplicateRegenerationCoalescesAcrossRequests)
+{
+    // Two concurrent requests for the same benchmark over the same
+    // cache dir: the second must LEASE the first's in-flight
+    // regeneration instead of racing it shard for shard (DESIGN.md
+    // §6j), then load the producer's verified cache and report the
+    // same numbers.
+    constexpr std::size_t kFrames = 12;
+    const batch::CampaignReport solo =
+        soloReference(path("solo"), {"hcr"}, kFrames);
+
+    const batch::CampaignConfig base =
+        campaignConfig(path("cache"), kFrames);
+    serve::Fleet fleet(base, 2);
+    sched::Scheduler scheduler(
+        base, schedConfig(sched::Policy::FairShare, 8), fleet);
+
+    const double coalescedBefore =
+        obs::processRegistry()
+            .scalar("sched.shards_coalesced")
+            .value();
+
+    std::vector<obs::RunLedger> ledgers(2);
+    sched::RequestSpec producer;
+    producer.benches = {"hcr"};
+    producer.tenant = "producer";
+    producer.ledger = &ledgers[0];
+    auto producerId = scheduler.admit(producer);
+    ASSERT_TRUE(producerId.ok()) << producerId.error().message;
+
+    sched::RequestSpec follower;
+    follower.benches = {"hcr"};
+    follower.tenant = "follower";
+    follower.ledger = &ledgers[1];
+    auto followerId = scheduler.admit(follower);
+    ASSERT_TRUE(followerId.ok()) << followerId.error().message;
+
+    // All 3 of the follower's would-be shards (12 frames / 4 per
+    // shard) were avoided at admission, before any dispatch.
+    EXPECT_EQ(obs::processRegistry()
+                      .scalar("sched.shards_coalesced")
+                      .value() -
+                  coalescedBefore,
+              3.0);
+
+    std::vector<sched::RequestResult> results =
+        scheduler.runToCompletion();
+    fleet.shutdown();
+    ASSERT_EQ(results.size(), 2u);
+    for (const sched::RequestResult &result : results) {
+        EXPECT_EQ(result.status, "ok");
+        const std::vector<std::string> diffs =
+            batch::diffReports(solo, result.report);
+        EXPECT_TRUE(diffs.empty())
+            << result.tenant << ": " << diffs.front();
+        ASSERT_EQ(result.report.benchmarks.size(), 1u);
+        if (result.id == *followerId)
+            EXPECT_EQ(result.report.benchmarks[0].cacheStatus,
+                      "coalesced");
+        else
+            EXPECT_EQ(result.report.benchmarks[0].cacheStatus,
+                      "built");
+    }
+
+    // The follower's ledger tells the coalescing story — and never
+    // dispatched a shard of its own.
+    std::size_t coalesces = 0, resolved = 0, dispatches = 0;
+    for (const util::Json &ev : ledgers[1].events()) {
+        ASSERT_TRUE(obs::RunLedger::validateEvent(ev).ok());
+        const std::string type = ev.find("event")->asString();
+        if (type == "shard_coalesce") {
+            ++coalesces;
+            EXPECT_EQ(ev.find("producer")->asNumber(),
+                      static_cast<double>(*producerId));
+            EXPECT_EQ(ev.find("shards_avoided")->asNumber(), 3.0);
+        }
+        if (type == "lease_resolved") {
+            ++resolved;
+            EXPECT_EQ(ev.find("source")->asString(), "cache");
+        }
+        dispatches += type == "sched_dispatch";
+    }
+    EXPECT_EQ(coalesces, 1u);
+    EXPECT_EQ(resolved, 1u);
+    EXPECT_EQ(dispatches, 0u);
+}
+
+TEST_F(SchedTest, LeaseFallsBackToRebuildWhenProducerQuarantines)
+{
+    // The producer's regeneration dies (poisoned shard, quarantined
+    // bench, no cache stored): the leasing request must claim
+    // ownership and rebuild on its own shards instead of waiting for
+    // a cache that will never appear.
+    constexpr std::size_t kFrames = 8;
+    const batch::CampaignReport solo =
+        soloReference(path("solo"), {"hcr"}, kFrames);
+
+    // Producer owns global shards 0..1 (8 frames / 4 per shard);
+    // shard 0 dies on every attempt with a retry cap of 1.
+    FaultInjector::setGlobalSpec("worker.kill:shard=0");
+    const batch::CampaignConfig base =
+        campaignConfig(path("cache"), kFrames);
+    sched::SchedulerConfig config =
+        schedConfig(sched::Policy::FairShare, 8);
+    config.shard.retryCap = 1;
+    serve::Fleet fleet(base, 2);
+    sched::Scheduler scheduler(base, config, fleet);
+
+    std::vector<obs::RunLedger> ledgers(2);
+    sched::RequestSpec producer;
+    producer.benches = {"hcr"};
+    producer.tenant = "producer";
+    producer.ledger = &ledgers[0];
+    auto producerId = scheduler.admit(producer);
+    ASSERT_TRUE(producerId.ok());
+
+    sched::RequestSpec follower;
+    follower.benches = {"hcr"};
+    follower.tenant = "follower";
+    follower.ledger = &ledgers[1];
+    auto followerId = scheduler.admit(follower);
+    ASSERT_TRUE(followerId.ok());
+
+    std::vector<sched::RequestResult> results =
+        scheduler.runToCompletion();
+    fleet.shutdown();
+    FaultInjector::setGlobalSpec("");
+    ASSERT_EQ(results.size(), 2u);
+
+    for (const sched::RequestResult &result : results) {
+        if (result.id == *producerId) {
+            EXPECT_EQ(result.status, "degraded");
+            ASSERT_EQ(result.report.quarantined.size(), 1u);
+            EXPECT_EQ(result.report.quarantined[0].bench, "hcr");
+        } else {
+            EXPECT_EQ(result.id, *followerId);
+            EXPECT_EQ(result.status, "ok");
+            const std::vector<std::string> diffs =
+                batch::diffReports(solo, result.report);
+            EXPECT_TRUE(diffs.empty()) << diffs.front();
+        }
+    }
+    // The lease resolved to a rebuild, dispatched on fresh shard ids.
+    std::size_t rebuilds = 0, dispatches = 0;
+    for (const util::Json &ev : ledgers[1].events()) {
+        ASSERT_TRUE(obs::RunLedger::validateEvent(ev).ok());
+        const std::string type = ev.find("event")->asString();
+        if (type == "lease_resolved") {
+            ++rebuilds;
+            EXPECT_EQ(ev.find("source")->asString(), "rebuild");
+        }
+        dispatches += type == "sched_dispatch";
+    }
+    EXPECT_EQ(rebuilds, 1u);
+    EXPECT_GE(dispatches, 2u);
+}
+
+TEST_F(SchedTest, SuiteClusterRequestsMatchInProcessSuiteAnalysis)
+{
+    // A suite-cluster campaign through the scheduler (the --workers
+    // path) must reproduce the in-process suite analysis exactly:
+    // finalize() pools the reassembled ground truth the same way
+    // Campaign::run does.
+    constexpr std::size_t kFrames = 12;
+    batch::CampaignConfig soloConfig =
+        campaignConfig(path("solo"), kFrames);
+    soloConfig.benches = {"hcr", "jjo"};
+    soloConfig.suiteCluster = true;
+    batch::Campaign soloCampaign(soloConfig);
+    auto solo = soloCampaign.run();
+    ASSERT_TRUE(solo.ok()) << solo.error().message;
+    ASSERT_TRUE(solo->suiteCluster);
+
+    batch::CampaignConfig base = campaignConfig(path("cache"), kFrames);
+    base.suiteCluster = true;
+    serve::Fleet fleet(base, 2);
+    sched::Scheduler scheduler(
+        base, schedConfig(sched::Policy::FairShare, 8), fleet);
+    sched::RequestSpec spec;
+    spec.benches = {"hcr", "jjo"};
+    auto id = scheduler.admit(spec);
+    ASSERT_TRUE(id.ok()) << id.error().message;
+    std::vector<sched::RequestResult> results =
+        scheduler.runToCompletion();
+    fleet.shutdown();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, "ok");
+    EXPECT_TRUE(results[0].report.suiteCluster);
+    EXPECT_EQ(results[0].report.sharedRepresentatives,
+              solo->sharedRepresentatives);
+    EXPECT_EQ(results[0].report.suiteReductionFactor,
+              solo->suiteReductionFactor);
+    const std::vector<std::string> diffs =
+        batch::diffReports(*solo, results[0].report);
+    EXPECT_TRUE(diffs.empty()) << diffs.front();
+}

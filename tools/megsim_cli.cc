@@ -26,6 +26,7 @@
  *   megsim-cli campaign [--benches A,B,C] [--out campaign.json]
  *                       [--check thresholds.json] [--cache-dir DIR]
  *                       [--ledger PATH] [--workers N] [--fast-mem]
+ *                       [--suite-cluster]
  *       Run the full MEGsim pipeline for the whole benchmark suite
  *       through one shared worker pool and write the machine-readable
  *       accuracy report CI gates on. --check compares the report
@@ -44,6 +45,14 @@
  *       --check gates via max_exact_vs_fast_percent. Fast results
  *       bypass the disk cache and are incompatible with --workers
  *       (the shard protocol transports cached rows, not audits).
+ *       --suite-cluster (or MEGSIM_SUITE_CLUSTER=1) pools every
+ *       benchmark's normalized features into ONE space, clusters
+ *       suite-wide and shares representatives across benchmarks: the
+ *       report becomes megsim-campaign-v3, rows gain borrowed_reps,
+ *       the suite block gains shared_representatives /
+ *       per_bench_representatives / suite_reduction_factor, and
+ *       --check gates fold-back errors via the thresholds `suite`
+ *       block. Works with --workers (analysis runs in the parent).
  *
  *   megsim-cli serve --socket PATH [--max-requests N] [--workers N]
  *                    [--benches A,B,C] [--cache-dir DIR]
@@ -60,6 +69,9 @@
  *       Compare two campaign reports modulo the documented host-side
  *       fields (wall clocks, pool utilization, thread count, cache
  *       provenance). Prints every difference; exits 6 on mismatch.
+ *       A per-bench (v2) vs suite-cluster (v3) pair refuses with a
+ *       "schema mismatch" message naming both versions and exits 2
+ *       (usage), distinct from the exit-6 content mismatch.
  *
  *   megsim-cli perf [--frames N] [--out BENCH_gpusim.json]
  *                   [--benches A,B,C] [--compare BASELINE.json]
@@ -80,7 +92,9 @@
  *
  *   megsim-cli perf --history DIR
  *       Fold every *.jsonl run ledger under DIR into a trajectory
- *       table (tool, threads, status, wall seconds, final metrics).
+ *       table (tool, mode, threads, status, wall seconds, final
+ *       metrics). The mode column (exact / fast / suite-cluster)
+ *       keeps incomparable trajectories visually separate.
  *
  *   megsim-cli ledger --validate PATH
  *       Strictly round-trip a run ledger through the util/json parser
@@ -185,6 +199,7 @@ struct Options
     std::size_t threads = 0; // 0 = keep MEGSIM_THREADS / hw default
     bool baseline = false;
     bool fastMem = false; // calibrated fast-mem model (campaign/perf)
+    bool suiteCluster = false; // campaign: cross-bench clustering
     bool strict = false;  // perf/serve compare: gate instead of warn
     bool purge = false;
     bool outSet = false;
@@ -206,7 +221,8 @@ usage(const char *argv0)
         " [--purge]\n"
         "       %s campaign [--benches A,B,C] [--out REPORT.json]"
         " [--check THRESHOLDS.json] [--cache-dir DIR]"
-        " [--ledger PATH] [--workers N] [--fast-mem]\n"
+        " [--ledger PATH] [--workers N] [--fast-mem]"
+        " [--suite-cluster]\n"
         "       %s campaign --diff A.json B.json\n"
         "       %s serve --socket PATH [--max-requests N]"
         " [--workers N] [--policy fifo|fair|srs]"
@@ -388,6 +404,8 @@ parse(int argc, char **argv, Options &opt)
             opt.baseline = true;
         } else if (arg == "--fast-mem") {
             opt.fastMem = true;
+        } else if (arg == "--suite-cluster") {
+            opt.suiteCluster = true;
         } else if (arg == "--strict") {
             opt.strict = true;
         } else if (arg == "--purge") {
@@ -539,6 +557,7 @@ envManifest()
         "MEGSIM_SHARD_REPLY_SPILL", "MEGSIM_SHARD_SPILL_DIR",
         "MEGSIM_FAST_MEM",       "MEGSIM_FAST_MEM_CALIB",
         "MEGSIM_FAST_MEM_PROBE", "MEGSIM_FAST_MEM_AUDIT",
+        "MEGSIM_SUITE_CLUSTER",
     };
     util::Json env = util::Json::object();
     for (const char *var : kVars)
@@ -557,7 +576,8 @@ ledgerRunStart(obs::RunLedger &ledger, const char *tool,
                double scale, bool baseline,
                const std::vector<std::string> &benches,
                std::size_t workers = 0,
-               const mem::FastMemConfig &fastMem = {})
+               const mem::FastMemConfig &fastMem = {},
+               bool suiteCluster = false)
 {
     gpusim::GpuConfig config =
         baseline ? gpusim::GpuConfig::baseline()
@@ -582,6 +602,13 @@ ledgerRunStart(obs::RunLedger &ledger, const char *tool,
     fields.set("fingerprint", fingerprint);
     fields.set("env", envManifest());
     fields.set("mem_mode", fastMem.enabled ? "fast" : "exact");
+    // The trajectory mode `perf --history` groups rows by: exact,
+    // fast and suite-cluster points are separate trajectories.
+    std::string mode = fastMem.enabled ? "fast" : "exact";
+    if (suiteCluster)
+        mode = fastMem.enabled ? "suite-cluster-fast"
+                               : "suite-cluster";
+    fields.set("mode", mode);
     ledger.event("run_start", std::move(fields));
 }
 
@@ -673,6 +700,19 @@ runCampaignDiff(const Options &opt)
                      opt.diffB.c_str(), b.error().message.c_str());
         return kExitLoadFailure;
     }
+    // A per-bench (v2) report and a suite-cluster (v3) report measure
+    // different things — refusing the comparison is a usage error,
+    // deliberately distinct from the exit-6 content mismatch.
+    if (a->suiteCluster != b->suiteCluster) {
+        std::fprintf(stderr,
+                     "campaign --diff: schema mismatch: '%s' is %s "
+                     "but '%s' is %s — per-bench and suite-cluster "
+                     "reports are different trajectories and cannot "
+                     "be compared\n",
+                     opt.diffA.c_str(), a->schemaVersion.c_str(),
+                     opt.diffB.c_str(), b->schemaVersion.c_str());
+        return kExitUsage;
+    }
     const std::vector<std::string> diffs = batch::diffReports(*a, *b);
     if (diffs.empty()) {
         std::printf("reports match (modulo host-side fields): %s "
@@ -708,6 +748,19 @@ printCampaignReport(const batch::CampaignReport &report)
                     b.representatives, b.reduction, b.errorPercent[0],
                     b.errorPercent[1], b.errorPercent[2],
                     b.errorPercent[3], b.cacheStatus.c_str());
+    if (report.suiteCluster) {
+        std::printf("# suite-cluster: %zu shared representatives vs "
+                    "%zu per-bench (%.2fx fewer timing frames)\n",
+                    report.sharedRepresentatives,
+                    report.perBenchRepresentatives,
+                    report.suiteReductionFactor);
+        for (const batch::BenchmarkReport &b : report.benchmarks)
+            if (b.borrowedReps > 0)
+                std::printf("# %-10s borrows %zu of %zu "
+                            "representatives from other benchmarks\n",
+                            b.alias.c_str(), b.borrowedReps,
+                            b.representatives);
+    }
     for (const batch::BenchmarkReport &b : report.benchmarks)
         if (b.hasExactVsFast)
             std::printf("# %-10s exact_vs_fast: cycles %.4f%% dram "
@@ -752,6 +805,12 @@ runCampaign(const Options &opt)
                      "cached rows, not audit frames)\n");
         return kExitUsage;
     }
+    // Suite clustering is likewise chosen here (not in fromEnv()):
+    // --suite-cluster or MEGSIM_SUITE_CLUSTER=1.
+    config.suiteCluster = opt.suiteCluster;
+    if (const char *env = std::getenv("MEGSIM_SUITE_CLUSTER"))
+        if (*env != '\0' && std::string(env) != "0")
+            config.suiteCluster = true;
 
     // Load the thresholds BEFORE the (expensive) campaign, so a typoed
     // path fails in seconds, not hours.
@@ -777,7 +836,8 @@ runCampaign(const Options &opt)
                                : config.benches;
     ledgerRunStart(ledger, "campaign", exec::Pool::global().workers(),
                    config.frameLimit, config.scale, false, aliases,
-                   opt.workers, config.fastMem);
+                   opt.workers, config.fastMem,
+                   config.suiteCluster);
 
     auto result = [&]() {
         if (opt.workers > 0) {
@@ -856,6 +916,16 @@ runCampaign(const Options &opt)
         values.set("total_representatives",
                    result->totalRepresentatives);
         values.set("pool_utilization", result->poolUtilization);
+        if (result->suiteCluster) {
+            values.set("shared_representatives",
+                       static_cast<double>(
+                           result->sharedRepresentatives));
+            values.set("per_bench_representatives",
+                       static_cast<double>(
+                           result->perBenchRepresentatives));
+            values.set("suite_reduction_factor",
+                       result->suiteReductionFactor);
+        }
         util::Json fields = util::Json::object();
         fields.set("values", std::move(values));
         ledger.event("metrics", std::move(fields));
@@ -1047,8 +1117,10 @@ runHistory(const Options &opt)
     std::sort(paths.begin(), paths.end());
 
     std::size_t loaded = 0;
-    std::printf("%-28s %-9s %4s %-16s %8s  %s\n", "ledger", "tool",
-                "thr", "status", "wall_s", "metrics");
+    // The mode column keeps exact / fast-mem / suite-cluster
+    // trajectory rows visually separate — they are never comparable.
+    std::printf("%-28s %-9s %-18s %4s %-16s %8s  %s\n", "ledger",
+                "tool", "mode", "thr", "status", "wall_s", "metrics");
     for (const std::string &path : paths) {
         auto events = obs::RunLedger::load(path);
         if (!events.ok()) {
@@ -1058,12 +1130,12 @@ runHistory(const Options &opt)
         }
         const obs::LedgerSummary row =
             obs::summarizeLedger(path, *events);
-        std::printf("%-28s %-9s %4zu %-16s %8.3f ",
+        std::printf("%-28s %-9s %-18s %4zu %-16s %8.3f ",
                     std::filesystem::path(row.path)
                         .filename()
                         .string()
                         .c_str(),
-                    row.tool.c_str(), row.threads,
+                    row.tool.c_str(), row.mode.c_str(), row.threads,
                     row.status.empty() ? "(no run_end)"
                                        : row.status.c_str(),
                     row.wallSeconds);
